@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the simulator (experiment MICRO):
+//! cycles per second at light and heavy load, and scaling with network
+//! size.  Uses `iter_custom` so each measurement simulates a fixed cycle
+//! budget from a fresh network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kncube_sim::{SimConfig, Simulator};
+use std::time::Instant;
+
+const CYCLES: u64 = 20_000;
+
+fn run_cycles(cfg: SimConfig, cycles: u64) -> u64 {
+    let mut sim = Simulator::new(cfg).unwrap();
+    for _ in 0..cycles {
+        sim.step();
+    }
+    sim.in_flight() as u64
+}
+
+fn bench_sim_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cycles");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(CYCLES));
+    for (name, lambda, h) in [
+        ("light_h20", 1e-4, 0.2),
+        ("moderate_h20", 3e-4, 0.2),
+        ("heavy_h70", 1.5e-4, 0.7),
+    ] {
+        let cfg = SimConfig::paper_validation(16, 2, 32, lambda, h, 7)
+            .with_limits(u64::MAX, 0, 0);
+        group.bench_with_input(BenchmarkId::new("k16", name), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(run_cycles(*cfg, CYCLES));
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scale");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(CYCLES));
+    for k in [8u32, 16, 32] {
+        // Keep the per-node load constant so work scales with N.
+        let cfg = SimConfig::paper_validation(k, 2, 32, 1e-4, 0.2, 7)
+            .with_limits(u64::MAX, 0, 0);
+        group.bench_with_input(BenchmarkId::new("k", k), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(run_cycles(*cfg, CYCLES));
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_load, bench_sim_scale);
+criterion_main!(benches);

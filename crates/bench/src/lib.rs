@@ -1,0 +1,241 @@
+//! Shared harness for regenerating the paper's figures and the extension
+//! experiments.
+//!
+//! Every binary in `src/bin/` drives the same primitives: a λ grid per
+//! configuration, the analytical model, the flit-level simulator, and a
+//! plain-text table/CSV emitter (the paper's figures are line charts of
+//! latency vs. offered traffic; we print the series that draw them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kncube_core::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
+use kncube_sim::{SimConfig, SimReport, Simulator};
+
+/// One experimental configuration (a subfigure of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct FigureConfig {
+    /// Radix of the `k × k` torus.
+    pub k: u32,
+    /// Virtual channels per physical channel.
+    pub v: u32,
+    /// Message length in flits.
+    pub lm: u32,
+    /// Hot-spot fraction.
+    pub h: f64,
+    /// Number of λ points on the curve.
+    pub points: usize,
+    /// Highest λ as a fraction of the model's saturation rate.
+    pub top_fraction: f64,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Simulator limits: (max_cycles, warmup, target messages).
+    pub sim_limits: (u64, u64, u64),
+}
+
+impl FigureConfig {
+    /// The paper's subfigure for `(lm, h)` with tuned run lengths.
+    pub fn paper(lm: u32, h: f64) -> Self {
+        FigureConfig {
+            k: 16,
+            v: 2,
+            lm,
+            h,
+            points: 8,
+            top_fraction: 0.95,
+            seed: 20_050_408, // the conference's opening day
+            sim_limits: (3_000_000, 150_000, 40_000),
+        }
+    }
+
+    /// Quick variant for smoke tests (fewer points, shorter runs).
+    pub fn quick(mut self) -> Self {
+        self.points = 4;
+        self.top_fraction = 0.8;
+        self.sim_limits = (400_000, 40_000, 8_000);
+        self
+    }
+
+    /// The model configuration at rate `lambda`.
+    pub fn model_config(&self, lambda: f64) -> ModelConfig {
+        ModelConfig::paper_validation(self.k, self.v, self.lm, lambda, self.h)
+    }
+
+    /// The simulator configuration at rate `lambda`.
+    pub fn sim_config(&self, lambda: f64) -> SimConfig {
+        let (max_cycles, warmup, target) = self.sim_limits;
+        SimConfig::paper_validation(self.k, self.v, self.lm, lambda, self.h, self.seed)
+            .with_limits(max_cycles, warmup, target)
+    }
+
+    /// The λ grid: `points` evenly-spaced rates from `λ*/points` to
+    /// `top_fraction · λ*`, where `λ*` is the model's saturation rate —
+    /// the same sweep the paper's figures plot.
+    pub fn lambda_grid(&self) -> Vec<f64> {
+        let sat = kncube_core::find_saturation(self.model_config(0.0), 1e-8, 1e-2, 1e-3);
+        (1..=self.points)
+            .map(|i| sat * self.top_fraction * i as f64 / self.points as f64)
+            .collect()
+    }
+}
+
+/// One row of a regenerated figure.
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// Offered traffic (messages/node/cycle).
+    pub lambda: f64,
+    /// The model's prediction.
+    pub model: Result<ModelOutput, ModelError>,
+    /// The simulation measurement.
+    pub sim: SimReport,
+}
+
+impl FigureRow {
+    /// Relative model error vs. simulation, when the model solved.
+    pub fn relative_error(&self) -> Option<f64> {
+        self.model
+            .as_ref()
+            .ok()
+            .map(|m| (m.latency - self.sim.mean_latency) / self.sim.mean_latency)
+    }
+}
+
+/// Regenerate one subfigure: run the model and the simulator over the λ
+/// grid.  Simulator points run in parallel (they dominate the cost).
+pub fn run_figure(config: &FigureConfig) -> Vec<FigureRow> {
+    let lambdas = config.lambda_grid();
+    let mut sims: Vec<Option<SimReport>> = (0..lambdas.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &lambda) in sims.iter_mut().zip(&lambdas) {
+            scope.spawn(move |_| {
+                let sim = Simulator::new(config.sim_config(lambda))
+                    .expect("valid sim config")
+                    .run();
+                *slot = Some(sim);
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    lambdas
+        .iter()
+        .zip(sims)
+        .map(|(&lambda, sim)| FigureRow {
+            lambda,
+            model: HotSpotModel::new(config.model_config(lambda)).and_then(|m| m.solve()),
+            sim: sim.expect("slot filled"),
+        })
+        .collect()
+}
+
+/// Print a figure as an aligned table (and CSV-ish rows for re-plotting).
+pub fn print_figure(title: &str, config: &FigureConfig, rows: &[FigureRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "k={} V={} Lm={} h={:.0}% (seed {})",
+        config.k,
+        config.v,
+        config.lm,
+        config.h * 100.0,
+        config.seed
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>8} {:>8} {:>7}",
+        "traffic", "model", "simulation", "ci95", "err%", "note"
+    );
+    for row in rows {
+        let sim = &row.sim;
+        let (model_str, err_str) = match &row.model {
+            Ok(m) => (
+                format!("{:12.1}", m.latency),
+                format!("{:8.1}", row.relative_error().unwrap() * 100.0),
+            ),
+            Err(ModelError::Saturated { .. }) | Err(ModelError::NotConverged) => {
+                ("   saturated".to_string(), "       -".to_string())
+            }
+            Err(e) => (format!("{e}"), "       -".to_string()),
+        };
+        println!(
+            "{:>12.4e} {model_str} {:>12.1} {:>8.1} {err_str} {:>7}",
+            row.lambda,
+            sim.mean_latency,
+            sim.ci_half_width.unwrap_or(f64::NAN),
+            if sim.saturated { "SAT" } else { "" }
+        );
+    }
+}
+
+/// Shape assertions shared by the figure binaries and integration tests:
+/// the paper's headline claims for one regenerated subfigure.
+///
+/// Returns a list of violated claims (empty = all good).
+pub fn check_figure_shape(rows: &[FigureRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    // Claim 1: at light load (first half of the grid, excluding points the
+    // simulator itself flagged saturated) the model tracks simulation.
+    for row in rows.iter().take(rows.len() / 2) {
+        if row.sim.saturated {
+            continue;
+        }
+        match row.relative_error() {
+            Some(err) if err.abs() > 0.25 => violations.push(format!(
+                "light-load error {:.0}% at λ={:.3e}",
+                err * 100.0,
+                row.lambda
+            )),
+            None => violations.push(format!(
+                "model saturated at light load λ={:.3e}",
+                row.lambda
+            )),
+            _ => {}
+        }
+    }
+    // Claim 2: simulated latency grows monotonically with load (within
+    // noise) — it is a latency/throughput curve.
+    for pair in rows.windows(2) {
+        let (a, b) = (&pair[0].sim, &pair[1].sim);
+        if a.saturated || b.saturated {
+            continue;
+        }
+        let slack = 3.0
+            * (a.ci_half_width.unwrap_or(0.0) + b.ci_half_width.unwrap_or(0.0)).max(1.0);
+        if b.mean_latency + slack < a.mean_latency {
+            violations.push(format!(
+                "simulated latency decreased: {:.1} → {:.1} between λ={:.3e} and {:.3e}",
+                a.mean_latency, b.mean_latency, pair[0].lambda, pair[1].lambda
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_grid_is_increasing_and_below_saturation() {
+        let cfg = FigureConfig::paper(32, 0.2);
+        let grid = cfg.lambda_grid();
+        assert_eq!(grid.len(), cfg.points);
+        for pair in grid.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        // The whole grid must be solvable by the model except possibly the
+        // last point (at 95% of λ* it should still solve).
+        for &l in &grid {
+            assert!(
+                HotSpotModel::new(cfg.model_config(l)).unwrap().solve().is_ok(),
+                "λ={l} unexpectedly saturated"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_figure_run_has_sane_shape() {
+        let cfg = FigureConfig::paper(16, 0.3).quick();
+        let rows = run_figure(&cfg);
+        assert_eq!(rows.len(), cfg.points);
+        let violations = check_figure_shape(&rows);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

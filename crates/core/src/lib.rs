@@ -1,0 +1,51 @@
+//! The paper's primary contribution: an analytical model of mean message
+//! latency in deterministically-routed k-ary n-cubes under hot-spot traffic
+//! (Loucif, Ould-Khaoua & Min, IPDPS 2005).
+//!
+//! The analysis covers the 2-D unidirectional torus (`k`-ary 2-cube) with
+//! dimension-order (x-then-y) wormhole routing, `V >= 2` virtual channels
+//! per physical channel, fixed `Lm`-flit messages, Poisson sources of rate
+//! `λ` messages/node/cycle, and the Pfister–Norton hot-spot destination
+//! model with hot fraction `h`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kncube_core::{HotSpotModel, ModelConfig};
+//!
+//! let config = ModelConfig::paper_validation(16, 2, 32, 1e-4, 0.2);
+//! let out = HotSpotModel::new(config).unwrap().solve().unwrap();
+//! assert!(out.latency > 32.0); // at least the message length
+//! ```
+//!
+//! # Structure
+//!
+//! * [`rates`] — channel traffic rates, Eqs. (1)–(9);
+//! * [`probabilities`] — route-case probabilities behind Eqs. (11)–(15),
+//!   (22), (24) and (31)–(32);
+//! * [`solver`] — the fixed-point solution of the service-time recursions
+//!   (Eqs. 16–25) and the latency composition (Eqs. 10–15, 21–24, 31–37);
+//! * [`uniform`] — an independently-derived uniform-traffic baseline (the
+//!   `h → 0` sanity anchor);
+//! * [`sweep`] — load sweeps and saturation-point search, parallelised with
+//!   crossbeam.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hypercube;
+pub mod probabilities;
+pub mod rates;
+pub mod solver;
+pub mod sweep;
+pub mod uniform;
+
+pub use hypercube::{HypercubeModel, HypercubeOutput};
+pub use probabilities::RegularRouteProbs;
+pub use rates::Rates;
+pub use solver::{
+    HotSpotModel, ModelConfig, ModelError, ModelOutput, ModelVariant, MultiplexingModel,
+    ServiceTimeModel,
+};
+pub use sweep::{latency_curve, find_saturation, CurvePoint};
+pub use uniform::UniformModel;

@@ -1,0 +1,981 @@
+//! The fixed-point solution of the hot-spot latency model (Eqs. 10–37).
+//!
+//! # Unknowns
+//!
+//! The model's interdependent unknowns are seven families of per-channel
+//! mean *service times* (`j` counts the channels left to visit, `1..k-1`;
+//! `t` names an x-ring by its paper-distance from the hot node, `1..=k`):
+//!
+//! | symbol | meaning | equation |
+//! |--------|---------|----------|
+//! | `S^r_h̄y,j` | regular message crossing a non-hot y-ring | (16) |
+//! | `S^r_hy,j` | regular message crossing the hot y-ring | (17) |
+//! | `S^r_x,j` | regular message finishing in dimension x | (18) |
+//! | `S^r_x→hy,j` | regular message, x then the hot y-ring | (19) |
+//! | `S^r_x→h̄y,j` | regular message, x then a non-hot y-ring | (20) |
+//! | `S^h_y,j` | hot-spot message starting in the hot y-ring | (23) |
+//! | `S^h_x,j,t` | hot-spot message starting in x-ring `t` | (25) |
+//!
+//! Every recursion has the shape `S_j = 1 + B(channel) + S_{j-1}` — one
+//! cycle for the header to cross the channel, the mean blocking delay at
+//! that channel, then the service time of the rest of the path — with the
+//! terminal `S_1 = 1 + B + Lm` (`Lm` cycles for the message body to drain
+//! into the destination once the header lands).  The `k`-indexed *entrance*
+//! quantities (`S^r_hy,k` etc.) are the averages over `j = 1..k-1`, which
+//! double as the expected service time of a randomly-encountered competing
+//! message inside the blocking operator.
+//!
+//! # Composition
+//!
+//! Once the service times converge, the source-queue waits (Eqs. 31–32,
+//! M/G/1 at rate `λ/V`) and the virtual-channel multiplexing degrees
+//! (Eqs. 33–37) are evaluated on the converged state and combined into
+//!
+//! ```text
+//! Latency = (1-h)·S_r + h·S_h                                   (10)
+//! ```
+//!
+//! with `S_r` the probability mix over the five regular route cases
+//! (Eqs. 11–15) and `S_h` the uniform mix over the `N-1` hot-spot source
+//! positions (Eqs. 21–24).  One notational fix relative to the paper: we
+//! apply each case's probability to the *whole* bracket
+//! `(S + Ws)·V̄` rather than to `S` alone, so that the source wait `Ws` is
+//! counted exactly once in expectation (the paper's Eqs. 12–14 distribute
+//! the probability over `S` but then add an unweighted `Ws`, which cannot
+//! be literal — the probabilities would not marginalise).
+
+use crate::probabilities::RegularRouteProbs;
+use crate::rates::Rates;
+use kncube_queueing::blocking::{blocking_delay, channel_utilization, TrafficClass};
+use kncube_queueing::fixed_point::{self, FixedPointError, FixedPointOptions};
+use kncube_queueing::mg1;
+use kncube_queueing::vc_multiplex::multiplexing_factor;
+use std::fmt;
+
+/// Utilization cap used to keep intermediate fixed-point iterates finite.
+const RHO_CAP: f64 = 1.0 - 1e-7;
+
+/// Which mean service time competing *regular* messages present at an
+/// x-ring channel in the hot-message recursion, Eq. (25).
+///
+/// The OCR of the paper prints `S^r_{hy,k}` (the hot-y-ring entrance
+/// service) inside Eq. (25)'s blocking term, while the structurally
+/// analogous regular-message recursions (Eqs. 18–20) use the x-channel
+/// entrance service `S^r_{x,k}`.  The default follows physical consistency
+/// (`XRingService`); the alternative reproduces the OCR reading, and the
+/// `ablations` bench quantifies the (small) difference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ModelVariant {
+    /// Use `S^r_{x,k}` in Eq. (25)'s blocking term (default).
+    #[default]
+    XRingService,
+    /// Use `S^r_{hy,k}` in Eq. (25)'s blocking term (literal OCR).
+    HotRingServiceEq25,
+}
+
+/// What a message "costs" a channel while crossing it — the service time
+/// competing messages present inside the blocking operator, and the
+/// occupancy that drives utilization and virtual-channel multiplexing.
+///
+/// The OCR of Eqs. (17), (23) and (25) names the remaining-path service
+/// times (`S^h_{y,j}` etc.) here, but that reading cannot be what the
+/// authors computed: remaining-path services contain the downstream
+/// blocking delays, so channel `j+1`'s load would inherit channel `j`'s
+/// near-saturation waits and the model would diverge at roughly a third of
+/// the load range plotted in Figures 1–2 (tree saturation is over-counted
+/// because the distributed VC queue actually spreads that backlog over
+/// many channels).  With the *pipelined transfer time* `Lm + 1` — exact
+/// for the binding channel, the last hop into the hot node, whose
+/// downstream is the ejection sink — the model's saturation points land
+/// precisely on the axis ranges of all six subfigures
+/// (`λ* ≈ 1/(h·k(k-1)·(Lm+1) + λ_r-share)`).  See DESIGN.md §
+/// "Reconstruction notes".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ServiceTimeModel {
+    /// Competitor service/occupancy = `Lm + 1` cycles (default; matches
+    /// the paper's figures).
+    #[default]
+    PipelinedTransfer,
+    /// Competitor service/occupancy = `1 + S_{j-1}` (header plus the full
+    /// remaining-path service).  Over-counts tree saturation; kept as an
+    /// ablation (`ABL-HOLD` in DESIGN.md).
+    PathOccupancy,
+}
+
+/// How the virtual-channel multiplexing degree `V̄` is computed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MultiplexingModel {
+    /// Dally's Markov chain, Eqs. (33)–(35) — the published model.  It
+    /// assumes a message can occupy any of the `V` virtual channels, which
+    /// over-states multiplexing under Dally–Seitz class restrictions
+    /// (hot-spot messages in the hot ring share a single class).
+    #[default]
+    DallyMarkov,
+    /// Class-aware stretch: a flit stream is slowed by the occupancy of
+    /// the *other* virtual channels of its physical channel, so
+    /// `V̄ = 1 + min(ρ, V-1)`.  Matches the simulator's measured
+    /// multiplexing more closely (ablation `ABL-VMUX`).
+    ClassAware,
+}
+
+/// Configuration of one model evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Radix `k` of the `k × k` unidirectional torus.
+    pub k: u32,
+    /// Virtual channels per physical channel (`V >= 2` in the paper;
+    /// `V = 1` is accepted for the math but is not deadlock-free in the
+    /// simulated network).
+    pub virtual_channels: u32,
+    /// Message length `Lm` in flits.
+    pub message_length: u32,
+    /// Per-node generation rate `λ` in messages/cycle.
+    pub lambda: f64,
+    /// Hot-spot fraction `h`.
+    pub hot_fraction: f64,
+    /// Eq. (25) blocking-term reading.
+    pub variant: ModelVariant,
+    /// Channel service-time model inside the blocking operator.
+    pub service_model: ServiceTimeModel,
+    /// Virtual-channel multiplexing model (Eqs. 33-35 or class-aware).
+    pub multiplexing: MultiplexingModel,
+    /// Fixed-point iteration controls.
+    pub options: FixedPointOptions,
+}
+
+impl ModelConfig {
+    /// The paper's validation configuration: a `k × k` unidirectional torus
+    /// with `v` virtual channels, `lm`-flit messages, rate `lambda` and hot
+    /// fraction `h` (§4 uses `k = 16`, `lm ∈ {32, 100}`,
+    /// `h ∈ {0.2, 0.4, 0.7}`).
+    pub fn paper_validation(k: u32, v: u32, lm: u32, lambda: f64, h: f64) -> Self {
+        ModelConfig {
+            k,
+            virtual_channels: v,
+            message_length: lm,
+            lambda,
+            hot_fraction: h,
+            variant: ModelVariant::default(),
+            service_model: ServiceTimeModel::default(),
+            multiplexing: MultiplexingModel::default(),
+            options: FixedPointOptions::default(),
+        }
+    }
+}
+
+/// Why the model has no solution at this operating point.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// Invalid configuration.
+    BadConfig(String),
+    /// A channel or source queue is saturated (`ρ >= 1`): the network has
+    /// no steady state at this load and the model diverges — this is how
+    /// the saturation point manifests analytically.
+    Saturated {
+        /// The largest utilization encountered.
+        max_utilization: f64,
+    },
+    /// The iteration failed to converge without an explicit `ρ >= 1`
+    /// witness; treated as (just past) saturation in sweeps.
+    NotConverged,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadConfig(msg) => write!(f, "bad model configuration: {msg}"),
+            ModelError::Saturated { max_utilization } => {
+                write!(f, "network saturated (max utilization {max_utilization:.4})")
+            }
+            ModelError::NotConverged => write!(f, "model iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The solved model: latency and its decomposition.
+#[derive(Clone, Debug)]
+pub struct ModelOutput {
+    /// Eq. (10): the headline mean message latency in cycles.
+    pub latency: f64,
+    /// `S_r`: mean latency of regular messages (probability-marginalised).
+    pub regular_latency: f64,
+    /// `S_h`: mean latency of hot-spot messages.
+    pub hot_latency: f64,
+    /// Eq. (31): mean network latency a regular message sees at any source.
+    pub mean_network_latency_regular: f64,
+    /// Eq. (32): mean source-queue wait of regular messages.
+    pub source_wait_regular: f64,
+    /// Eq. (36): average multiplexing degree over hot-y-ring channels.
+    pub vbar_hot_ring: f64,
+    /// Multiplexing degree at non-hot y channels.
+    pub vbar_nonhot_ring: f64,
+    /// Eq. (37): average multiplexing degree over x channels.
+    pub vbar_x: f64,
+    /// The largest channel/source utilization at the solution (a solution
+    /// exists only when this is below 1).
+    pub max_utilization: f64,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+    /// Entrance (j-averaged) service times, useful for diagnostics:
+    /// `[S^r_h̄y,k, S^r_hy,k, S^r_x,k, S^r_x→hy,k, S^r_x→h̄y,k]`.
+    pub entrance_services: [f64; 5],
+    /// Converged `S^h_y,j` for `j = 1..k-1` (index 0 is `j = 1`).
+    pub hot_ring_services: Vec<f64>,
+}
+
+/// The analytical model for one configuration.
+#[derive(Clone, Debug)]
+pub struct HotSpotModel {
+    config: ModelConfig,
+    rates: Rates,
+    probs: RegularRouteProbs,
+}
+
+/// State-vector layout: seven families flattened into one `Vec<f64>`.
+#[derive(Clone, Copy)]
+struct Layout {
+    /// `m = k - 1`: entries per `j`-indexed family.
+    m: usize,
+    /// radix as usize.
+    k: usize,
+}
+
+impl Layout {
+    fn new(k: u32) -> Self {
+        Layout {
+            m: (k - 1) as usize,
+            k: k as usize,
+        }
+    }
+    fn len(&self) -> usize {
+        6 * self.m + self.m * self.k
+    }
+    /// `S^r_h̄y,j`, `j ∈ 1..=m`.
+    fn sr_nonhot(&self, j: usize) -> usize {
+        j - 1
+    }
+    /// `S^r_hy,j`.
+    fn sr_hot(&self, j: usize) -> usize {
+        self.m + j - 1
+    }
+    /// `S^r_x,j`.
+    fn sr_x(&self, j: usize) -> usize {
+        2 * self.m + j - 1
+    }
+    /// `S^r_x→hy,j`.
+    fn sr_x_hot(&self, j: usize) -> usize {
+        3 * self.m + j - 1
+    }
+    /// `S^r_x→h̄y,j`.
+    fn sr_x_nonhot(&self, j: usize) -> usize {
+        4 * self.m + j - 1
+    }
+    /// `S^h_y,j`.
+    fn sh_y(&self, j: usize) -> usize {
+        5 * self.m + j - 1
+    }
+    /// `S^h_x,j,t`, `t ∈ 1..=k`.
+    fn sh_x(&self, j: usize, t: usize) -> usize {
+        6 * self.m + (t - 1) * self.m + j - 1
+    }
+}
+
+fn average(slice: &[f64]) -> f64 {
+    slice.iter().sum::<f64>() / slice.len() as f64
+}
+
+/// Entrance-averaged channel *holding* times of the three regular-message
+/// families (see [`HotSpotModel::holdings`] for the latency/holding
+/// distinction).
+#[derive(Clone, Copy, Debug)]
+struct Holdings {
+    /// Regular messages at non-hot y channels.
+    reg_nonhot: f64,
+    /// Regular messages at hot-y-ring channels.
+    reg_hot: f64,
+    /// Regular messages at x channels.
+    reg_x: f64,
+}
+
+impl HotSpotModel {
+    /// Validate the configuration and build the model.
+    pub fn new(config: ModelConfig) -> Result<Self, ModelError> {
+        if config.k < 2 {
+            return Err(ModelError::BadConfig("radix k must be >= 2".into()));
+        }
+        if config.virtual_channels < 1 {
+            return Err(ModelError::BadConfig(
+                "need at least one virtual channel".into(),
+            ));
+        }
+        if config.message_length < 1 {
+            return Err(ModelError::BadConfig(
+                "message length must be >= 1 flit".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.hot_fraction) {
+            return Err(ModelError::BadConfig("h must be in [0, 1]".into()));
+        }
+        if !config.lambda.is_finite() || config.lambda < 0.0 {
+            return Err(ModelError::BadConfig("λ must be finite and >= 0".into()));
+        }
+        let rates = Rates::new(config.k, config.lambda, config.hot_fraction);
+        let probs = RegularRouteProbs::new(config.k);
+        Ok(HotSpotModel {
+            config,
+            rates,
+            probs,
+        })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The traffic rates (Eqs. 1–9).
+    pub fn rates(&self) -> &Rates {
+        &self.rates
+    }
+
+    /// Zero-load initial guess: service time = remaining hops + `Lm`.
+    fn initial_state(&self, layout: Layout) -> Vec<f64> {
+        let lm = self.config.message_length as f64;
+        let mut state = vec![0.0; layout.len()];
+        for j in 1..=layout.m {
+            let jf = j as f64;
+            state[layout.sr_nonhot(j)] = jf + lm;
+            state[layout.sr_hot(j)] = jf + lm;
+            state[layout.sr_x(j)] = jf + lm;
+            // After x, an average of (k-1)/2-ish more hops follow; a rough
+            // guess is fine — the iteration refines it.
+            state[layout.sr_x_hot(j)] = jf + lm + layout.k as f64 / 2.0;
+            state[layout.sr_x_nonhot(j)] = jf + lm + layout.k as f64 / 2.0;
+            state[layout.sh_y(j)] = jf + lm;
+            for t in 1..=layout.k {
+                let tail = if t == layout.k { 0.0 } else { t as f64 };
+                state[layout.sh_x(j, t)] = jf + tail + lm;
+            }
+        }
+        state
+    }
+
+    /// Channel *holding* times derived from the latency state.
+    ///
+    /// A message holds a channel from the cycle its header crosses it until
+    /// its tail does — that is `1 + S_{j-1}` (header transfer plus the
+    /// service of the remaining path), **excluding** the message's own wait
+    /// `B_j` to acquire the channel: while waiting it does not occupy the
+    /// channel.  Feeding the full remaining *latency* `S_j` (which contains
+    /// `B_j`) back as the channel's service time — a literal reading the
+    /// OCR of Eqs. (17)/(23) permits — makes the blocking self-amplifying
+    /// and saturates the model an order of magnitude below the paper's
+    /// figure axes; with holding times the saturation points land exactly
+    /// on the axis ranges of Figures 1–2 (see DESIGN.md).  Holding times
+    /// are also what utilization and the multiplexing load (Eqs. 27, 33)
+    /// physically mean.
+    fn holdings(&self, layout: Layout, state: &[f64]) -> Holdings {
+        let m = layout.m;
+        let lm = self.config.message_length as f64;
+        match self.config.service_model {
+            ServiceTimeModel::PipelinedTransfer => {
+                let t = lm + 1.0;
+                Holdings {
+                    reg_nonhot: t,
+                    reg_hot: t,
+                    reg_x: t,
+                }
+            }
+            ServiceTimeModel::PathOccupancy => {
+                // Average over entrance positions j = 1..m of (1 + S_{j-1}),
+                // with S_0 = Lm: the expected occupancy by a randomly-
+                // encountered competitor of the family.
+                let family_hold = |base: usize| -> f64 {
+                    let chain: f64 = (1..m).map(|j| state[base + j - 1]).sum();
+                    1.0 + (lm + chain) / m as f64
+                };
+                Holdings {
+                    reg_nonhot: family_hold(layout.sr_nonhot(1)),
+                    reg_hot: family_hold(layout.sr_hot(1)),
+                    reg_x: family_hold(layout.sr_x(1)),
+                }
+            }
+        }
+    }
+
+    /// Holding time of the hot-ring channel `j` by a hot-spot message.
+    fn hot_hold_y(&self, layout: Layout, state: &[f64], j: usize) -> f64 {
+        let lm = self.config.message_length as f64;
+        match self.config.service_model {
+            ServiceTimeModel::PipelinedTransfer => lm + 1.0,
+            ServiceTimeModel::PathOccupancy => {
+                1.0 + if j == 1 { lm } else { state[layout.sh_y(j - 1)] }
+            }
+        }
+    }
+
+    /// Holding time of the x channel `(j, t)` by a hot-spot message.
+    fn hot_hold_x(&self, layout: Layout, state: &[f64], j: usize, t: usize) -> f64 {
+        let lm = self.config.message_length as f64;
+        match self.config.service_model {
+            ServiceTimeModel::PipelinedTransfer => lm + 1.0,
+            ServiceTimeModel::PathOccupancy => {
+                1.0 + if j == 1 {
+                    if t == layout.k {
+                        lm
+                    } else {
+                        state[layout.sh_y(t)]
+                    }
+                } else {
+                    state[layout.sh_x(j - 1, t)]
+                }
+            }
+        }
+    }
+
+    /// One application of the recursions (16)–(20), (23), (25).
+    fn update(&self, layout: Layout, state: &[f64], next: &mut [f64]) {
+        let k = layout.k;
+        let m = layout.m;
+        let lm = self.config.message_length as f64;
+        let lr = self.rates.regular_channel_rate();
+        let holds = self.holdings(layout, state);
+
+        // Entrance (j-averaged) latencies, the tails of Eqs. (19)-(20).
+        let sr_nonhot_k = average(&state[0..m]);
+        let sr_hot_k = average(&state[m..2 * m]);
+
+        // Eq. (16): blocking at a non-hot y channel (regular traffic only).
+        let b_nonhot = blocking_delay(
+            TrafficClass::new(lr, holds.reg_nonhot),
+            TrafficClass::none(),
+            lm,
+            RHO_CAP,
+        );
+
+        // Eq. (17): blocking averaged over the k positions of the hot
+        // y-ring (a competing channel is l hops from the hot node with
+        // probability 1/k; position l = k carries no hot traffic).
+        let b_hotring = (1..=k)
+            .map(|l| {
+                let hot = if l < k {
+                    TrafficClass::new(
+                        self.rates.hot_rate_y(l as u32),
+                        self.hot_hold_y(layout, state, l),
+                    )
+                } else {
+                    TrafficClass::none()
+                };
+                blocking_delay(TrafficClass::new(lr, holds.reg_hot), hot, lm, RHO_CAP)
+            })
+            .sum::<f64>()
+            / k as f64;
+
+        // Eqs. (18)-(20): blocking averaged over all k² x-channel positions
+        // (ring t, in-ring position l).
+        let b_x = {
+            let mut sum = 0.0;
+            for t in 1..=k {
+                for l in 1..=k {
+                    let hot = if l < k {
+                        TrafficClass::new(
+                            self.rates.hot_rate_x(l as u32),
+                            self.hot_hold_x(layout, state, l, t),
+                        )
+                    } else {
+                        TrafficClass::none()
+                    };
+                    sum += blocking_delay(
+                        TrafficClass::new(lr, holds.reg_x),
+                        hot,
+                        lm,
+                        RHO_CAP,
+                    );
+                }
+            }
+            sum / (k * k) as f64
+        };
+
+        // The chains below are evaluated Gauss-Seidel style: `S_j` uses the
+        // *freshly computed* `S_{j-1}` of this sweep, not last iteration's.
+        // Given the blocking terms, each chain is an exact linear recursion,
+        // so only the scalar feedback loops (entrance averages ↔ blocking,
+        // self-referential hot services) iterate — and those, starting from
+        // the zero-load state, form a monotone-increasing sequence bounded
+        // by the first (physical) fixed point whenever one exists.
+        for j in 1..=m {
+            // Eq. (16).
+            next[layout.sr_nonhot(j)] = 1.0
+                + b_nonhot
+                + if j == 1 {
+                    lm
+                } else {
+                    next[layout.sr_nonhot(j - 1)]
+                };
+            // Eq. (17).
+            next[layout.sr_hot(j)] = 1.0
+                + b_hotring
+                + if j == 1 {
+                    lm
+                } else {
+                    next[layout.sr_hot(j - 1)]
+                };
+            // Eq. (18).
+            next[layout.sr_x(j)] = 1.0
+                + b_x
+                + if j == 1 {
+                    lm
+                } else {
+                    next[layout.sr_x(j - 1)]
+                };
+            // Eq. (19): after the last x channel the message enters the hot
+            // y-ring and sees its entrance service time.
+            next[layout.sr_x_hot(j)] = 1.0
+                + b_x
+                + if j == 1 {
+                    sr_hot_k
+                } else {
+                    next[layout.sr_x_hot(j - 1)]
+                };
+            // Eq. (20): same, non-hot ring.
+            next[layout.sr_x_nonhot(j)] = 1.0
+                + b_x
+                + if j == 1 {
+                    sr_nonhot_k
+                } else {
+                    next[layout.sr_x_nonhot(j - 1)]
+                };
+            // Eq. (23): hot message in the hot y-ring competes with regular
+            // traffic (holding of the regular hot-ring family) and the hot
+            // traffic at its own channel position.
+            next[layout.sh_y(j)] = 1.0
+                + blocking_delay(
+                    TrafficClass::new(lr, holds.reg_hot),
+                    TrafficClass::new(
+                        self.rates.hot_rate_y(j as u32),
+                        self.hot_hold_y(layout, state, j),
+                    ),
+                    lm,
+                    RHO_CAP,
+                )
+                + if j == 1 {
+                    lm
+                } else {
+                    next[layout.sh_y(j - 1)]
+                };
+        }
+        // Eq. (25), after the complete `S^h_y` chain is available (a hot
+        // message leaving dimension x enters the hot ring at position `t`).
+        let reg_service_x = match self.config.variant {
+            ModelVariant::XRingService => holds.reg_x,
+            ModelVariant::HotRingServiceEq25 => holds.reg_hot,
+        };
+        for t in 1..=k {
+            for j in 1..=m {
+                let b = blocking_delay(
+                    TrafficClass::new(lr, reg_service_x),
+                    TrafficClass::new(
+                        self.rates.hot_rate_x(j as u32),
+                        self.hot_hold_x(layout, state, j, t),
+                    ),
+                    lm,
+                    RHO_CAP,
+                );
+                let tail = if j == 1 {
+                    if t == k {
+                        // Last x channel of the hot node's own x-ring: the
+                        // message drains into the hot node.
+                        lm
+                    } else {
+                        // Enter the hot y-ring with t hops to go.
+                        next[layout.sh_y(t)]
+                    }
+                } else {
+                    next[layout.sh_x(j - 1, t)]
+                };
+                next[layout.sh_x(j, t)] = 1.0 + b + tail;
+            }
+        }
+    }
+
+    /// Solve the model.
+    pub fn solve(&self) -> Result<ModelOutput, ModelError> {
+        let layout = Layout::new(self.config.k);
+        let initial = self.initial_state(layout);
+        let report = fixed_point::solve(initial, self.config.options, |state, next| {
+            self.update(layout, state, next)
+        })
+        .map_err(|e| match e {
+            FixedPointError::NonFinite | FixedPointError::NotConverged => {
+                ModelError::NotConverged
+            }
+        })?;
+        self.compose(layout, &report.state, report.iterations)
+    }
+
+    /// Eqs. (10)–(15), (21)–(24), (31)–(37) evaluated on the converged
+    /// service times.
+    #[allow(clippy::needless_range_loop)] // j/t are the paper's indices
+    fn compose(
+        &self,
+        layout: Layout,
+        state: &[f64],
+        iterations: usize,
+    ) -> Result<ModelOutput, ModelError> {
+        let k = layout.k;
+        let m = layout.m;
+        let kf = k as f64;
+        let n_nodes = kf * kf;
+        let lm = self.config.message_length as f64;
+        let v = self.config.virtual_channels;
+        let h = self.config.hot_fraction;
+        let lambda = self.config.lambda;
+        let lr = self.rates.regular_channel_rate();
+
+        let sr_nonhot_k = average(&state[0..m]);
+        let sr_hot_k = average(&state[m..2 * m]);
+        let sr_x_k = average(&state[2 * m..3 * m]);
+        let sr_x_hot_k = average(&state[3 * m..4 * m]);
+        let sr_x_nonhot_k = average(&state[4 * m..5 * m]);
+        let holds = self.holdings(layout, state);
+
+        // --- Saturation diagnosis: every physical channel must be stable.
+        // A channel's load is its message rate times the *holding* time.
+        let mut max_util: f64 = 0.0;
+        max_util = max_util.max(channel_utilization(
+            TrafficClass::new(lr, holds.reg_nonhot),
+            TrafficClass::none(),
+        ));
+        for j in 1..=k {
+            let hot = if j < k {
+                TrafficClass::new(
+                    self.rates.hot_rate_y(j as u32),
+                    self.hot_hold_y(layout, state, j),
+                )
+            } else {
+                TrafficClass::none()
+            };
+            max_util = max_util.max(channel_utilization(
+                TrafficClass::new(lr, holds.reg_hot),
+                hot,
+            ));
+        }
+        for t in 1..=k {
+            for j in 1..=k {
+                let hot = if j < k {
+                    TrafficClass::new(
+                        self.rates.hot_rate_x(j as u32),
+                        self.hot_hold_x(layout, state, j, t),
+                    )
+                } else {
+                    TrafficClass::none()
+                };
+                max_util = max_util.max(channel_utilization(
+                    TrafficClass::new(lr, holds.reg_x),
+                    hot,
+                ));
+            }
+        }
+        if max_util >= 1.0 {
+            return Err(ModelError::Saturated {
+                max_utilization: max_util,
+            });
+        }
+
+        // --- Eq. (31): network latency a regular message expects at any
+        // source: the probability mix of the five route cases.
+        let p = &self.probs;
+        let s_r_network = p.y_only_hot_ring * sr_hot_k
+            + p.y_only_nonhot_ring * sr_nonhot_k
+            + p.x_only * sr_x_k
+            + p.x_then_hot_ring * sr_x_hot_k
+            + p.x_then_nonhot_ring * sr_x_nonhot_k;
+
+        // --- Eq. (32): source-queue waits, M/G/1 at rate λ/V.  The service
+        // a node's queue offers is the mean network latency of the mix of
+        // messages the node generates.
+        let vc_rate = lambda / v as f64;
+        let wait = |service: f64| -> Result<f64, ModelError> {
+            mg1::waiting_time(vc_rate, service, lm).map_err(|sat| ModelError::Saturated {
+                max_utilization: sat.rho,
+            })
+        };
+
+        // Hot node: generates only regular traffic.
+        let mut ws_r_sum = wait(s_r_network)?;
+        // Hot-ring sources, one per j.
+        let mut ws_hy = vec![0.0; m + 1];
+        for j in 1..=m {
+            let service = (1.0 - h) * s_r_network + h * state[layout.sh_y(j)];
+            let w = wait(service)?;
+            ws_hy[j] = w;
+            ws_r_sum += w;
+        }
+        // All other sources, one per (j, t).
+        let mut ws_x = vec![vec![0.0; k + 1]; m + 1];
+        for j in 1..=m {
+            for t in 1..=k {
+                let service = (1.0 - h) * s_r_network + h * state[layout.sh_x(j, t)];
+                let w = wait(service)?;
+                ws_x[j][t] = w;
+                ws_r_sum += w;
+            }
+        }
+        let ws_r = ws_r_sum / n_nodes;
+
+        // --- Eqs. (33)-(37): multiplexing degrees per channel family; the
+        // occupancy the Markov chain tracks is rate × holding time.
+        let vbar_of = |rho: f64| -> f64 {
+            match self.config.multiplexing {
+                MultiplexingModel::DallyMarkov => multiplexing_factor(rho, v),
+                MultiplexingModel::ClassAware => 1.0 + rho.clamp(0.0, (v - 1).max(1) as f64),
+            }
+        };
+        let vbar_nonhot = vbar_of(lr * holds.reg_nonhot);
+        let mut vbar_hy = vec![1.0; k + 1];
+        for j in 1..=k {
+            let rho = if j < k {
+                lr * holds.reg_hot
+                    + self.rates.hot_rate_y(j as u32) * self.hot_hold_y(layout, state, j)
+            } else {
+                lr * holds.reg_hot
+            };
+            vbar_hy[j] = vbar_of(rho);
+        }
+        let vbar_hy_avg = vbar_hy[1..=k].iter().sum::<f64>() / kf;
+        let mut vbar_x = vec![vec![1.0; k + 1]; k + 1];
+        for j in 1..=k {
+            for t in 1..=k {
+                let rho = if j < k {
+                    lr * holds.reg_x
+                        + self.rates.hot_rate_x(j as u32)
+                            * self.hot_hold_x(layout, state, j, t)
+                } else {
+                    lr * holds.reg_x
+                };
+                vbar_x[j][t] = vbar_of(rho);
+            }
+        }
+        let vbar_x_avg =
+            vbar_x[1..=k].iter().flat_map(|row| &row[1..=k]).sum::<f64>() / (kf * kf);
+
+        // --- Eqs. (11)-(15): regular-message latency, probability mix with
+        // the source wait counted once per case.
+        let s_r = p.y_only_hot_ring * (sr_hot_k + ws_r) * vbar_hy_avg
+            + p.y_only_nonhot_ring * (sr_nonhot_k + ws_r) * vbar_nonhot
+            + p.x_only * (sr_x_k + ws_r) * vbar_x_avg
+            + p.x_then_hot_ring * (sr_x_hot_k + ws_r) * vbar_x_avg
+            + p.x_then_nonhot_ring * (sr_x_nonhot_k + ws_r) * vbar_x_avg;
+
+        // --- Eqs. (21)-(24): hot-message latency, uniform over the N-1
+        // sources; each source's latency is scaled by the multiplexing
+        // degree at its entry channel.
+        let mut s_h_sum = 0.0;
+        for j in 1..=m {
+            s_h_sum += (state[layout.sh_y(j)] + ws_hy[j]) * vbar_hy[j];
+        }
+        for j in 1..=m {
+            for t in 1..=k {
+                s_h_sum += (state[layout.sh_x(j, t)] + ws_x[j][t]) * vbar_x[j][t];
+            }
+        }
+        let s_h = s_h_sum / (n_nodes - 1.0);
+
+        // --- Eq. (10).
+        let latency = (1.0 - h) * s_r + h * s_h;
+
+        Ok(ModelOutput {
+            latency,
+            regular_latency: s_r,
+            hot_latency: s_h,
+            mean_network_latency_regular: s_r_network,
+            source_wait_regular: ws_r,
+            vbar_hot_ring: vbar_hy_avg,
+            vbar_nonhot_ring: vbar_nonhot,
+            vbar_x: vbar_x_avg,
+            max_utilization: max_util,
+            iterations,
+            entrance_services: [sr_nonhot_k, sr_hot_k, sr_x_k, sr_x_hot_k, sr_x_nonhot_k],
+            hot_ring_services: (1..=m).map(|j| state[layout.sh_y(j)]).collect(),
+        })
+    }
+
+    /// Closed-form zero-load latency (λ → 0): no blocking, no queueing,
+    /// no multiplexing; every path costs `hops + Lm` cycles plus one cycle
+    /// per channel for the header.  Used as a test oracle and as the
+    /// y-intercept of the figures.
+    pub fn zero_load_latency(&self) -> f64 {
+        let k = self.config.k as f64;
+        let m = self.config.k - 1;
+        let lm = self.config.message_length as f64;
+        let h = self.config.hot_fraction;
+        let p = &self.probs;
+        // Mean over j = 1..k-1 of (j + Lm) is (k/2 + Lm).
+        let one_dim = k / 2.0 + lm;
+        let two_dim = k + lm; // j-average + second-dimension entrance average
+        let s_r = (p.y_only_hot_ring + p.y_only_nonhot_ring + p.x_only) * one_dim
+            + (p.x_then_hot_ring + p.x_then_nonhot_ring) * two_dim;
+        // Hot messages: source (j) in the hot ring costs j + Lm; source
+        // (j, t) costs j + t + Lm for t < k and j + Lm for t = k.
+        let n_minus_1 = k * k - 1.0;
+        let mut s_h = 0.0;
+        for j in 1..=m {
+            s_h += j as f64 + lm;
+        }
+        for j in 1..=m {
+            for t in 1..=self.config.k {
+                let tail = if t == self.config.k { 0.0 } else { t as f64 };
+                s_h += j as f64 + tail + lm;
+            }
+        }
+        s_h /= n_minus_1;
+        (1.0 - h) * s_r + h * s_h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(k: u32, v: u32, lm: u32, lambda: f64, h: f64) -> Result<ModelOutput, ModelError> {
+        HotSpotModel::new(ModelConfig::paper_validation(k, v, lm, lambda, h))
+            .unwrap()
+            .solve()
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        for cfg in [
+            ModelConfig::paper_validation(1, 2, 32, 1e-4, 0.2),
+            ModelConfig::paper_validation(16, 0, 32, 1e-4, 0.2),
+            ModelConfig::paper_validation(16, 2, 0, 1e-4, 0.2),
+            ModelConfig::paper_validation(16, 2, 32, 1e-4, 1.5),
+            ModelConfig::paper_validation(16, 2, 32, -1.0, 0.2),
+            ModelConfig::paper_validation(16, 2, 32, f64::NAN, 0.2),
+        ] {
+            assert!(HotSpotModel::new(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn vanishing_load_matches_zero_load_closed_form() {
+        for (k, lm, h) in [(8u32, 32u32, 0.2f64), (16, 32, 0.4), (16, 100, 0.7), (4, 16, 0.0)] {
+            let model =
+                HotSpotModel::new(ModelConfig::paper_validation(k, 2, lm, 1e-9, h)).unwrap();
+            let out = model.solve().unwrap();
+            let expected = model.zero_load_latency();
+            assert!(
+                (out.latency - expected).abs() / expected < 1e-3,
+                "k={k} lm={lm} h={h}: solved {} vs closed form {expected}",
+                out.latency
+            );
+            assert!(out.vbar_hot_ring < 1.0 + 1e-3);
+            assert!(out.source_wait_regular < 1e-3);
+        }
+    }
+
+    #[test]
+    fn latency_increases_with_load() {
+        let mut prev = 0.0;
+        for i in 1..=8 {
+            let lambda = i as f64 * 5e-5;
+            let out = solve(16, 2, 32, lambda, 0.2).unwrap();
+            assert!(
+                out.latency > prev,
+                "λ={lambda}: latency {} not increasing (prev {prev})",
+                out.latency
+            );
+            prev = out.latency;
+        }
+    }
+
+    #[test]
+    fn latency_increases_with_hot_fraction_at_fixed_load() {
+        // Hot traffic concentrates load on the hot ring, so at a fixed λ
+        // the latency grows with h (until saturation).
+        let l20 = solve(16, 2, 32, 1.5e-4, 0.2).unwrap().latency;
+        let l40 = solve(16, 2, 32, 1.5e-4, 0.4).unwrap().latency;
+        let l70 = solve(16, 2, 32, 1.5e-4, 0.7).unwrap().latency;
+        assert!(l20 < l40 && l40 < l70, "{l20} {l40} {l70}");
+    }
+
+    #[test]
+    fn saturates_at_the_papers_operating_points() {
+        // Figure 1 (Lm=32): the h=20% curve saturates near λ ≈ 6e-4.
+        assert!(solve(16, 2, 32, 3e-4, 0.2).is_ok());
+        assert!(solve(16, 2, 32, 9e-4, 0.2).is_err());
+        // h=70% saturates near 2e-4.
+        assert!(solve(16, 2, 32, 1e-4, 0.7).is_ok());
+        assert!(solve(16, 2, 32, 3e-4, 0.7).is_err());
+        // Figure 2 (Lm=100): h=20% saturates near 2e-4.
+        assert!(solve(16, 2, 100, 1e-4, 0.2).is_ok());
+        assert!(solve(16, 2, 100, 3e-4, 0.2).is_err());
+    }
+
+    #[test]
+    fn hot_messages_slower_than_regular_under_hot_load() {
+        let out = solve(16, 2, 32, 2e-4, 0.4).unwrap();
+        assert!(
+            out.hot_latency > out.regular_latency,
+            "hot {} vs regular {}",
+            out.hot_latency,
+            out.regular_latency
+        );
+    }
+
+    #[test]
+    fn hot_ring_service_grows_towards_hot_node() {
+        // S^h_y,j is cumulative along the path, so it grows with j; the
+        // blocking per channel also peaks nearest the hot node (largest
+        // rate), which this ordering inherits.
+        let out = solve(16, 2, 32, 3e-4, 0.4).unwrap();
+        for w in out.hot_ring_services.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn h_zero_hot_and_nonhot_rings_agree() {
+        // With no hot traffic the hot ring is statistically identical to
+        // every other ring.
+        let out = solve(16, 2, 32, 4e-4, 0.0).unwrap();
+        let [nonhot, hot, ..] = out.entrance_services;
+        assert!(
+            (nonhot - hot).abs() < 1e-6,
+            "h=0 asymmetry: {nonhot} vs {hot}"
+        );
+        assert!((out.vbar_hot_ring - out.vbar_nonhot_ring).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_virtual_channels_multiplex_more() {
+        let v2 = solve(16, 2, 32, 4e-4, 0.2).unwrap();
+        let v4 = solve(16, 4, 32, 4e-4, 0.2).unwrap();
+        assert!(v4.vbar_x >= v2.vbar_x);
+        assert!(v4.vbar_hot_ring >= v2.vbar_hot_ring);
+    }
+
+    #[test]
+    fn variant_changes_little_below_saturation() {
+        let base = ModelConfig::paper_validation(16, 2, 32, 2e-4, 0.4);
+        let a = HotSpotModel::new(base).unwrap().solve().unwrap();
+        let b = HotSpotModel::new(ModelConfig {
+            variant: ModelVariant::HotRingServiceEq25,
+            ..base
+        })
+        .unwrap()
+        .solve()
+        .unwrap();
+        let rel = (a.latency - b.latency).abs() / a.latency;
+        assert!(rel < 0.1, "variants diverge by {rel}");
+    }
+
+    #[test]
+    fn longer_messages_cost_proportionally_at_zero_load() {
+        let short = solve(16, 2, 32, 1e-9, 0.2).unwrap().latency;
+        let long = solve(16, 2, 100, 1e-9, 0.2).unwrap().latency;
+        assert!((long - short - 68.0).abs() < 0.5, "short {short} long {long}");
+    }
+}

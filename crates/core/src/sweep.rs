@@ -1,0 +1,121 @@
+//! Load sweeps and saturation search.
+//!
+//! The figures of the paper are latency-vs-λ curves.  This module sweeps
+//! the model across a λ grid (in parallel — each point is independent) and
+//! finds the saturation rate `λ*` by bisection on model solvability.
+
+use crate::solver::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
+
+/// One point of a latency curve.
+#[derive(Clone, Debug)]
+pub struct CurvePoint {
+    /// The per-node generation rate of this point.
+    pub lambda: f64,
+    /// The model solution, or the saturation error past `λ*`.
+    pub result: Result<ModelOutput, ModelError>,
+}
+
+/// Evaluate the model at each `lambda`, in parallel.
+pub fn latency_curve(base: ModelConfig, lambdas: &[f64]) -> Vec<CurvePoint> {
+    let mut results: Vec<Option<CurvePoint>> = (0..lambdas.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &lambda) in results.iter_mut().zip(lambdas) {
+            scope.spawn(move |_| {
+                let result = HotSpotModel::new(ModelConfig { lambda, ..base })
+                    .and_then(|m| m.solve());
+                *slot = Some(CurvePoint { lambda, result });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results.into_iter().map(|p| p.expect("slot filled")).collect()
+}
+
+/// Find the saturation rate `λ*` of `base` by bisection: the largest rate
+/// at which the model still has a solution, bracketed to a relative width
+/// of `rel_tol`.
+///
+/// `hi` must be saturated and `lo` solvable (or zero); the function widens
+/// `hi` geometrically if it is not saturated yet.
+pub fn find_saturation(base: ModelConfig, mut lo: f64, mut hi: f64, rel_tol: f64) -> f64 {
+    assert!(lo >= 0.0 && hi > lo && rel_tol > 0.0);
+    let solvable = |lambda: f64| {
+        HotSpotModel::new(ModelConfig { lambda, ..base })
+            .map(|m| m.solve().is_ok())
+            .unwrap_or(false)
+    };
+    // Widen until hi is saturated (bounded: utilization grows linearly in
+    // λ, so a few doublings always suffice).
+    let mut guard = 0;
+    while solvable(hi) {
+        lo = hi;
+        hi *= 2.0;
+        guard += 1;
+        assert!(guard < 64, "failed to bracket saturation");
+    }
+    while (hi - lo) / hi > rel_tol {
+        let mid = 0.5 * (lo + hi);
+        if solvable(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_reports_points_in_input_order() {
+        let base = ModelConfig::paper_validation(16, 2, 32, 0.0, 0.2);
+        let lambdas = [1e-5, 1e-4, 2e-4, 9e-4];
+        let curve = latency_curve(base, &lambdas);
+        assert_eq!(curve.len(), 4);
+        for (p, &l) in curve.iter().zip(&lambdas) {
+            assert_eq!(p.lambda, l);
+        }
+        // Low points solve, the extreme one saturates.
+        assert!(curve[0].result.is_ok());
+        assert!(curve[1].result.is_ok());
+        assert!(curve[3].result.is_err());
+    }
+
+    #[test]
+    fn curve_latencies_monotone_until_saturation() {
+        let base = ModelConfig::paper_validation(16, 2, 32, 0.0, 0.4);
+        let lambdas: Vec<f64> = (1..=10).map(|i| i as f64 * 3e-5).collect();
+        let curve = latency_curve(base, &lambdas);
+        let mut prev = 0.0;
+        for p in curve.iter().filter(|p| p.result.is_ok()) {
+            let l = p.result.as_ref().unwrap().latency;
+            assert!(l > prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn saturation_orders_by_hot_fraction_and_length() {
+        let sat = |lm: u32, h: f64| {
+            find_saturation(
+                ModelConfig::paper_validation(16, 2, lm, 0.0, h),
+                1e-6,
+                1e-3,
+                1e-3,
+            )
+        };
+        let s20 = sat(32, 0.2);
+        let s40 = sat(32, 0.4);
+        let s70 = sat(32, 0.7);
+        assert!(s20 > s40 && s40 > s70, "{s20} {s40} {s70}");
+        // Longer messages saturate earlier.
+        let s20_long = sat(100, 0.2);
+        assert!(s20_long < s20);
+        // And the figures' axes bracket the saturation points: Fig. 1
+        // h=20% plots to 6e-4, h=70% to 2e-4.
+        assert!(s20 > 2e-4 && s20 < 9e-4, "λ*={s20}");
+        assert!(s70 > 5e-5 && s70 < 3e-4, "λ*={s70}");
+    }
+}

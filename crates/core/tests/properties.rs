@@ -1,0 +1,126 @@
+//! Property-based tests of the analytical model.
+
+use kncube_core::{HotSpotModel, ModelConfig, ModelError, Rates, RegularRouteProbs};
+use proptest::prelude::*;
+
+/// Strategy over valid model configurations at a load comfortably below
+/// the hot-channel flit bound.
+fn sub_saturation_config() -> impl Strategy<Value = ModelConfig> {
+    (
+        4u32..=16,          // k
+        2u32..=4,           // V
+        8u32..=64,          // Lm
+        0.0f64..=0.8,       // h
+        0.05f64..=0.5,      // fraction of the flit bound
+    )
+        .prop_map(|(k, v, lm, h, frac)| {
+            let hot_bound = 1.0 / (h.max(0.01) * (k * (k - 1)) as f64 * (lm + 1) as f64);
+            let uni_bound = 1.0 / ((k as f64 - 1.0) / 2.0 * (lm + 1) as f64);
+            let lambda = frac * hot_bound.min(uni_bound);
+            ModelConfig::paper_validation(k, v, lm, lambda, h)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solves_below_half_of_the_flit_bound(cfg in sub_saturation_config()) {
+        let out = HotSpotModel::new(cfg).unwrap().solve();
+        prop_assert!(out.is_ok(), "diverged at {cfg:?}: {:?}", out.err());
+        let out = out.unwrap();
+        prop_assert!(out.latency.is_finite() && out.latency > 0.0);
+        prop_assert!(out.max_utilization < 1.0);
+    }
+
+    #[test]
+    fn latency_at_least_zero_load(cfg in sub_saturation_config()) {
+        let model = HotSpotModel::new(cfg).unwrap();
+        let out = model.solve().unwrap();
+        // Queueing can only add delay over the contention-free network.
+        prop_assert!(
+            out.latency >= model.zero_load_latency() - 1e-6,
+            "latency {} below zero-load {}",
+            out.latency,
+            model.zero_load_latency()
+        );
+    }
+
+    #[test]
+    fn latency_monotone_in_lambda(cfg in sub_saturation_config()) {
+        let lo = HotSpotModel::new(ModelConfig { lambda: cfg.lambda * 0.5, ..cfg })
+            .unwrap().solve().unwrap();
+        let hi = HotSpotModel::new(cfg).unwrap().solve().unwrap();
+        prop_assert!(hi.latency >= lo.latency - 1e-9,
+            "latency fell with load: {} -> {}", lo.latency, hi.latency);
+    }
+
+    #[test]
+    fn multiplexing_factors_within_bounds(cfg in sub_saturation_config()) {
+        let out = HotSpotModel::new(cfg).unwrap().solve().unwrap();
+        let v = cfg.virtual_channels as f64;
+        for (name, vbar) in [
+            ("hot ring", out.vbar_hot_ring),
+            ("non-hot", out.vbar_nonhot_ring),
+            ("x", out.vbar_x),
+        ] {
+            prop_assert!(vbar >= 1.0 - 1e-9 && vbar <= v + 1e-9,
+                "{name} multiplexing {vbar} outside [1, {v}]");
+        }
+    }
+
+    #[test]
+    fn hot_latency_dominates_regular_when_hot_ring_loaded(cfg in sub_saturation_config()) {
+        prop_assume!(cfg.hot_fraction > 0.05);
+        let out = HotSpotModel::new(cfg).unwrap().solve().unwrap();
+        // Hot messages end at the most congested channels; their mean
+        // cannot be lower than the overall regular mean minus the path
+        // difference (hot paths can be shorter: they end at a fixed node).
+        // A hard invariant that always holds: both components are finite
+        // and the mix reproduces Eq. 10.
+        let mix = (1.0 - cfg.hot_fraction) * out.regular_latency
+            + cfg.hot_fraction * out.hot_latency;
+        prop_assert!((mix - out.latency).abs() < 1e-9 * out.latency.max(1.0));
+    }
+
+    #[test]
+    fn rates_are_consistent(k in 2u32..=32, lambda in 0.0f64..1e-2, h in 0.0f64..=1.0) {
+        let r = Rates::new(k, lambda, h);
+        // Eq. 8/9 are sums of Eq. 3 and Eqs. 6/7.
+        for j in 1..=k {
+            prop_assert!((r.total_rate_x(j) - r.regular_channel_rate() - r.hot_rate_x(j)).abs() < 1e-15);
+            prop_assert!((r.total_rate_y(j) - r.regular_channel_rate() - r.hot_rate_y(j)).abs() < 1e-15);
+        }
+        // Hot rates integrate to the global hot hop count: Σ_j λ^h_y,j =
+        // λ h k(k-1)/2 · k/k ... the closed form k²(k-1)/2 per dimension.
+        let sum_y: f64 = (1..=k).map(|j| r.hot_rate_y(j)).sum();
+        let expected = lambda * h * (k * k * (k - 1)) as f64 / 2.0;
+        prop_assert!((sum_y - expected).abs() < 1e-12 + 1e-9 * expected);
+    }
+
+    #[test]
+    fn route_probabilities_always_marginalise(k in 2u32..=64) {
+        let p = RegularRouteProbs::new(k);
+        prop_assert!((p.total() - 1.0).abs() < 1e-12);
+        prop_assert!(p.y_only_hot_ring > 0.0);
+        prop_assert!(p.x_then_nonhot_ring >= 0.0);
+    }
+
+    #[test]
+    fn saturation_error_reports_above_the_bound(
+        k in 4u32..=16, lm in 8u32..=64, h in 0.1f64..=0.8
+    ) {
+        // 2× the flit bound must be unsolvable.
+        let bound = 1.0 / (h * (k * (k - 1)) as f64 * (lm + 1) as f64);
+        let cfg = ModelConfig::paper_validation(k, 2, lm, 2.0 * bound, h);
+        match HotSpotModel::new(cfg).unwrap().solve() {
+            Err(ModelError::Saturated { max_utilization }) => {
+                prop_assert!(max_utilization >= 1.0);
+            }
+            Err(ModelError::NotConverged) => {} // also an accepted witness
+            Ok(out) => prop_assert!(false,
+                "solved past the flit bound: latency {}", out.latency),
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}

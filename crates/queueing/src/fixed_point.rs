@@ -1,0 +1,191 @@
+//! Damped fixed-point iteration for the model's interdependent equations.
+//!
+//! §3 of the paper: "Given that a closed-form solution to these
+//! interdependencies is very difficult to determine, the different variables
+//! of the model are computed using iterative techniques."
+//!
+//! The solver iterates `x_{n+1} = (1-d)·x_n + d·F(x_n)` on a flat `f64`
+//! state vector with damping factor `d`, declaring convergence when the
+//! largest relative component change drops below a tolerance, and divergence
+//! when a component goes non-finite or the iteration budget is exhausted
+//! (which, for this model, is how the saturation point manifests).
+
+/// Options controlling the iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedPointOptions {
+    /// Maximum number of iterations before declaring failure.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the maximum relative component change.
+    pub tolerance: f64,
+    /// Damping factor `d` in `(0, 1]`; `1` is undamped Picard iteration.
+    pub damping: f64,
+}
+
+impl Default for FixedPointOptions {
+    fn default() -> Self {
+        FixedPointOptions {
+            max_iterations: 20_000,
+            tolerance: 1e-10,
+            // The model's update is monotone when chains are swept
+            // Gauss-Seidel style, so undamped Picard converges from the
+            // zero-load start; damping stays available for experiments.
+            damping: 1.0,
+        }
+    }
+}
+
+/// Why the iteration stopped without converging.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FixedPointError {
+    /// A state component became NaN or infinite.
+    NonFinite,
+    /// The iteration budget was exhausted before the tolerance was met.
+    NotConverged,
+}
+
+impl std::fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FixedPointError::NonFinite => write!(f, "fixed point diverged to non-finite values"),
+            FixedPointError::NotConverged => {
+                write!(f, "fixed point failed to converge within the iteration budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixedPointError {}
+
+/// Convergence report for a successful solve.
+#[derive(Clone, Debug)]
+pub struct FixedPointReport {
+    /// The converged state vector.
+    pub state: Vec<f64>,
+    /// Iterations actually used.
+    pub iterations: usize,
+    /// Final maximum relative change (below the tolerance).
+    pub residual: f64,
+}
+
+/// Iterate `update` from `initial` until the maximum relative change of any
+/// component is below `options.tolerance`.
+///
+/// `update` writes the next state into its second argument (same length as
+/// the current state, passed as the first argument).
+pub fn solve<F>(
+    initial: Vec<f64>,
+    options: FixedPointOptions,
+    mut update: F,
+) -> Result<FixedPointReport, FixedPointError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    assert!(options.damping > 0.0 && options.damping <= 1.0);
+    assert!(options.tolerance > 0.0);
+    let mut state = initial;
+    let mut next = vec![0.0; state.len()];
+    for iteration in 1..=options.max_iterations {
+        update(&state, &mut next);
+        let mut residual: f64 = 0.0;
+        for (cur, nxt) in state.iter_mut().zip(next.iter()) {
+            if !nxt.is_finite() {
+                return Err(FixedPointError::NonFinite);
+            }
+            let blended = (1.0 - options.damping) * *cur + options.damping * *nxt;
+            let denom = blended.abs().max(1.0);
+            residual = residual.max((blended - *cur).abs() / denom);
+            *cur = blended;
+        }
+        if residual < options.tolerance {
+            return Ok(FixedPointReport {
+                state,
+                iterations: iteration,
+                residual,
+            });
+        }
+    }
+    Err(FixedPointError::NotConverged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_scalar_contraction() {
+        // x = cos(x) has the Dottie fixed point ~0.739085.
+        let report = solve(vec![0.0], FixedPointOptions::default(), |x, out| {
+            out[0] = x[0].cos();
+        })
+        .unwrap();
+        assert!((report.state[0] - 0.739_085_133).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solves_coupled_system() {
+        // x = 0.5 y + 1, y = 0.25 x + 1  →  x = 12/7, y = 10/7.
+        let report = solve(vec![0.0, 0.0], FixedPointOptions::default(), |s, out| {
+            out[0] = 0.5 * s[1] + 1.0;
+            out[1] = 0.25 * s[0] + 1.0;
+        })
+        .unwrap();
+        assert!((report.state[0] - 12.0 / 7.0).abs() < 1e-7);
+        assert!((report.state[1] - 10.0 / 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn damping_stabilizes_oscillation() {
+        // x = 2.5 - x oscillates undamped about 1.25 with |f'| = 1; damping
+        // turns it into a contraction.
+        let opts = FixedPointOptions {
+            damping: 0.5,
+            ..Default::default()
+        };
+        let report = solve(vec![0.0], opts, |x, out| {
+            out[0] = 2.5 - x[0];
+        })
+        .unwrap();
+        assert!((report.state[0] - 1.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn reports_divergence_to_infinity() {
+        let opts = FixedPointOptions {
+            max_iterations: 10_000,
+            ..Default::default()
+        };
+        let err = solve(vec![1.0], opts, |x, out| {
+            out[0] = x[0] * 3.0;
+        })
+        .unwrap_err();
+        // Either it runs out of budget or overflows to infinity; both are
+        // reported as failures.
+        assert!(matches!(
+            err,
+            FixedPointError::NotConverged | FixedPointError::NonFinite
+        ));
+    }
+
+    #[test]
+    fn reports_nan() {
+        let err = solve(vec![1.0], FixedPointOptions::default(), |_, out| {
+            out[0] = f64::NAN;
+        })
+        .unwrap_err();
+        assert_eq!(err, FixedPointError::NonFinite);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let opts = FixedPointOptions {
+            max_iterations: 3,
+            tolerance: 1e-15,
+            damping: 1.0,
+        };
+        let err = solve(vec![0.0], opts, |x, out| {
+            out[0] = 0.999_999 * x[0] + 1.0;
+        })
+        .unwrap_err();
+        assert_eq!(err, FixedPointError::NotConverged);
+    }
+}

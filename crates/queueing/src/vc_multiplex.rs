@@ -1,0 +1,153 @@
+//! Dally's Markovian model of virtual-channel multiplexing (Eqs. 33–35).
+//!
+//! `V` virtual channels share one physical channel in a time-multiplexed
+//! fashion.  Dally's model \[3\] tracks the number of busy virtual channels
+//! as a birth–death chain driven by the channel's offered load `ρ = λ·S`:
+//!
+//! ```text
+//! q_0 = 1
+//! q_v = q_{v-1} · ρ            0 < v < V        (33)
+//! q_V = q_{V-1} · ρ/(1-ρ)      v = V
+//! P_v = q_v / Σ_{l=0}^{V} q_l                   (34)
+//! V̄  = Σ_v v² P_v / Σ_v v P_v                  (35)
+//! ```
+//!
+//! `V̄ >= 1` is the *average multiplexing degree*: when more than one
+//! virtual channel is busy the physical channel's bandwidth is shared, so
+//! every latency component is stretched by `V̄`.
+
+/// Eq. (34): steady-state distribution of the number of busy virtual
+/// channels for offered load `rho = λ·S` and `v_channels` virtual channels.
+///
+/// `rho` is clamped into `[0, 1)` — at and beyond saturation the chain has
+/// all channels busy, which the clamp approaches continuously.
+pub fn occupancy_distribution(rho: f64, v_channels: u32) -> Vec<f64> {
+    assert!(v_channels >= 1, "need at least one virtual channel");
+    let v = v_channels as usize;
+    let rho = rho.clamp(0.0, 1.0 - 1e-12);
+    let mut q = vec![0.0; v + 1];
+    q[0] = 1.0;
+    for i in 1..v {
+        q[i] = q[i - 1] * rho;
+    }
+    q[v] = q[v - 1] * rho / (1.0 - rho);
+    let total: f64 = q.iter().sum();
+    for p in &mut q {
+        *p /= total;
+    }
+    q
+}
+
+/// Eq. (35): the average degree of virtual-channel multiplexing `V̄` at a
+/// physical channel with offered load `rho = λ·S` and `v_channels` virtual
+/// channels.
+///
+/// Properties (tested below): `V̄ = 1` at zero load, `V̄ → V` at
+/// saturation, and `V̄` is monotone non-decreasing in `rho`.
+///
+/// ```
+/// use kncube_queueing::vc_multiplex::multiplexing_factor;
+/// assert_eq!(multiplexing_factor(0.0, 2), 1.0);
+/// // V = 2 at ρ = 0.5: hand-computable from Eqs. 33-35 → 5/3.
+/// assert!((multiplexing_factor(0.5, 2) - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn multiplexing_factor(rho: f64, v_channels: u32) -> f64 {
+    if rho <= 0.0 {
+        return 1.0;
+    }
+    let p = occupancy_distribution(rho, v_channels);
+    let num: f64 = p
+        .iter()
+        .enumerate()
+        .map(|(v, &pv)| (v * v) as f64 * pv)
+        .sum();
+    let den: f64 = p
+        .iter()
+        .enumerate()
+        .map(|(v, &pv)| v as f64 * pv)
+        .sum();
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_normalized() {
+        for &rho in &[0.0, 0.1, 0.5, 0.9, 0.999, 1.5] {
+            for v in 1..=6 {
+                let p = occupancy_distribution(rho, v);
+                assert_eq!(p.len(), v as usize + 1);
+                let sum: f64 = p.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "rho={rho} v={v}: sum={sum}");
+                assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_load_means_no_multiplexing() {
+        for v in 1..=6 {
+            assert_eq!(multiplexing_factor(0.0, v), 1.0);
+        }
+        // Vanishing load approaches 1 continuously.
+        assert!((multiplexing_factor(1e-9, 4) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturation_approaches_v() {
+        for v in 2..=5 {
+            let f = multiplexing_factor(1.0 - 1e-13, v);
+            assert!(
+                (f - v as f64).abs() < 1e-3,
+                "V={v}: multiplexing at saturation {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_between_one_and_v() {
+        for v in 1..=6 {
+            for i in 0..100 {
+                let rho = i as f64 / 100.0;
+                let f = multiplexing_factor(rho, v);
+                assert!(f >= 1.0 - 1e-12);
+                assert!(f <= v as f64 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_load() {
+        for v in 2..=4 {
+            let mut prev = 0.0;
+            for i in 0..=100 {
+                let rho = i as f64 / 101.0;
+                let f = multiplexing_factor(rho, v);
+                assert!(f >= prev - 1e-12, "V={v} rho={rho}: {f} < {prev}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn single_virtual_channel_never_multiplexes() {
+        for i in 0..10 {
+            let rho = i as f64 / 10.0;
+            assert!((multiplexing_factor(rho, 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_hand_computed_v2() {
+        // V = 2, rho = 0.5: q = [1, 0.5, 0.5], P = [0.5, 0.25, 0.25],
+        // V̄ = (1·0.25 + 4·0.25)/(1·0.25 + 2·0.25) = 1.25/0.75 = 5/3.
+        let f = multiplexing_factor(0.5, 2);
+        assert!((f - 5.0 / 3.0).abs() < 1e-12, "got {f}");
+    }
+}

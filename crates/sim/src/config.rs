@@ -1,0 +1,205 @@
+//! Simulator configuration.
+
+use kncube_topology::{KAryNCube, NodeId, TopologyError};
+use kncube_traffic::{ArrivalProcess, TrafficPattern};
+use std::fmt;
+
+/// How arrived messages leave the network at their destination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EjectionPolicy {
+    /// Every arrived message drains into the local PE at one flit per
+    /// cycle, independently of other arrivals — "messages are transferred
+    /// to the local PE as soon as they arrive" (assumption iv).  This is
+    /// the reading the analytical model's `Lm` drain term corresponds to.
+    #[default]
+    PerMessageSink,
+    /// A single ejection channel per node: one flit per cycle total,
+    /// round-robin over the messages draining at the node (ablation
+    /// `ABL-EJECT`).
+    SharedChannel,
+}
+
+/// Full configuration of a simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Radix `k` (nodes per dimension).
+    pub k: u32,
+    /// Dimension count `n` (the paper validates `n = 2`; the simulator is
+    /// general).
+    pub n: u32,
+    /// Virtual channels per physical channel (`V >= 2` for deadlock-free
+    /// torus routing).
+    pub virtual_channels: u32,
+    /// Flit capacity of each virtual-channel buffer.
+    ///
+    /// The default is 2: one slot covering the flit in flight plus one
+    /// covering the single-cycle credit return, which is the minimum that
+    /// sustains one flit/cycle through a pipeline — the rate the paper's
+    /// cycle definition and the model's `Lm` terms assume.  Depth 1 is
+    /// accepted (halves sustained bandwidth; ablation `ABL-BUF`).
+    pub buffer_depth: u32,
+    /// Message length in flits.
+    pub message_length: u32,
+    /// Per-node arrival process (rate `λ` messages/cycle).
+    pub arrivals: ArrivalProcess,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Ejection model.
+    pub ejection: EjectionPolicy,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// Cycles to run before statistics collection starts (messages born
+    /// during warm-up never enter the statistics).
+    pub warmup_cycles: u64,
+    /// Hard stop: total cycles simulated (warm-up included).
+    pub max_cycles: u64,
+    /// Stop early once this many measured messages completed (0 = run to
+    /// `max_cycles`).
+    pub target_messages: u64,
+    /// Number of batches for the batch-means confidence interval.
+    pub batches: u32,
+    /// Consider the run saturated if any source queue exceeds this many
+    /// waiting messages (0 disables the check).
+    pub max_source_queue: usize,
+}
+
+/// Configuration errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// Underlying topology rejected the parameters.
+    Topology(TopologyError),
+    /// A parameter is out of range.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::Topology(e) => write!(f, "topology: {e}"),
+            SimConfigError::Invalid(msg) => write!(f, "invalid simulator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+impl SimConfig {
+    /// The paper's validation setup: a `k × k` unidirectional torus,
+    /// Poisson sources of rate `lambda`, Pfister–Norton hot-spot pattern
+    /// with fraction `h` towards node 0, fixed `lm`-flit messages.
+    ///
+    /// Warm-up and run lengths default to values suitable for the paper's
+    /// loads; tune with [`SimConfig::with_limits`].
+    pub fn paper_validation(k: u32, v: u32, lm: u32, lambda: f64, h: f64, seed: u64) -> Self {
+        SimConfig {
+            k,
+            n: 2,
+            virtual_channels: v,
+            buffer_depth: 2,
+            message_length: lm,
+            arrivals: ArrivalProcess::Poisson(lambda),
+            pattern: if h > 0.0 {
+                TrafficPattern::HotSpot {
+                    h,
+                    hot: NodeId(0),
+                }
+            } else {
+                TrafficPattern::Uniform
+            },
+            ejection: EjectionPolicy::PerMessageSink,
+            seed,
+            warmup_cycles: 100_000,
+            max_cycles: 2_000_000,
+            target_messages: 60_000,
+            batches: 10,
+            max_source_queue: 2_000,
+        }
+    }
+
+    /// Override run lengths: `max_cycles`, `warmup_cycles` and the early
+    /// stop at `target_messages` measured completions.
+    pub fn with_limits(mut self, max_cycles: u64, warmup_cycles: u64, target: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self.warmup_cycles = warmup_cycles;
+        self.target_messages = target;
+        self
+    }
+
+    /// Build the topology this configuration describes.
+    pub fn topology(&self) -> Result<KAryNCube, SimConfigError> {
+        KAryNCube::unidirectional(self.k, self.n).map_err(SimConfigError::Topology)
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        if self.virtual_channels < 1 {
+            return Err(SimConfigError::Invalid("need at least 1 virtual channel"));
+        }
+        if self.virtual_channels > 64 {
+            return Err(SimConfigError::Invalid("more than 64 virtual channels"));
+        }
+        if self.buffer_depth < 1 {
+            return Err(SimConfigError::Invalid("buffer depth must be >= 1"));
+        }
+        if self.message_length < 1 {
+            return Err(SimConfigError::Invalid("messages need at least 1 flit"));
+        }
+        if self.warmup_cycles >= self.max_cycles {
+            return Err(SimConfigError::Invalid(
+                "warm-up must be shorter than the total run",
+            ));
+        }
+        if self.batches < 1 {
+            return Err(SimConfigError::Invalid("need at least one batch"));
+        }
+        if !self.arrivals.rate().is_finite() || self.arrivals.rate() < 0.0 {
+            return Err(SimConfigError::Invalid("arrival rate must be >= 0"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_validation_defaults_are_valid() {
+        let c = SimConfig::paper_validation(16, 2, 32, 1e-4, 0.2, 1);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.topology().unwrap().num_nodes(), 256);
+        assert!(matches!(c.pattern, TrafficPattern::HotSpot { .. }));
+    }
+
+    #[test]
+    fn zero_h_becomes_uniform() {
+        let c = SimConfig::paper_validation(8, 2, 32, 1e-4, 0.0, 1);
+        assert_eq!(c.pattern, TrafficPattern::Uniform);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let base = SimConfig::paper_validation(8, 2, 32, 1e-4, 0.2, 1);
+        let mut c = base;
+        c.virtual_channels = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.buffer_depth = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.message_length = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.warmup_cycles = c.max_cycles;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.k = 1;
+        assert!(c.topology().is_err());
+    }
+
+    #[test]
+    fn with_limits_overrides() {
+        let c = SimConfig::paper_validation(8, 2, 32, 1e-4, 0.2, 1).with_limits(9, 3, 7);
+        assert_eq!((c.max_cycles, c.warmup_cycles, c.target_messages), (9, 3, 7));
+    }
+}

@@ -1,0 +1,159 @@
+//! In-flight message state: the wormhole chain.
+//!
+//! A wormhole message stretches over a *chain* of resources: the injection
+//! port of its source, then one virtual channel per network hop, then the
+//! ejection stage at its destination.  Because a virtual channel only ever
+//! buffers flits of the one message it is allocated to, the full flit state
+//! compresses into, per chain stage, the count of flits that have crossed
+//! that stage's channel so far.
+
+use kncube_topology::NodeId;
+use kncube_traffic::MessageClass;
+
+/// Index of a message in the simulator's slab.
+pub type MsgId = u32;
+
+/// One stage of a message's resource chain: a (channel, virtual channel)
+/// pair, identified by the simulator's flat port indexing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChainStage {
+    /// Flat channel index (network channels, then injection ports).
+    pub port: u32,
+    /// Virtual-channel index within the port.
+    pub vc: u32,
+    /// Flits that have crossed this stage's channel so far (`<= length`).
+    pub entered: u32,
+}
+
+/// Where the header currently is / what it waits for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeadState {
+    /// Waiting in the per-(port, class) allocation queue for a virtual
+    /// channel on `port`.
+    WaitingFor {
+        /// The port whose allocation queue the header sits in.
+        port: u32,
+    },
+    /// A virtual channel on the next port is allocated; the header has not
+    /// yet crossed into its buffer.
+    Crossing,
+    /// Header sits in the buffer of the last chain stage, which is at the
+    /// destination; the message is draining into the PE.
+    Ejecting,
+    /// All flits delivered (terminal state, message about to be retired).
+    Done,
+}
+
+/// The state of one in-flight message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Regular or hot-spot (statistics bucket).
+    pub class: MessageClass,
+    /// Length in flits.
+    pub length: u32,
+    /// Cycle the message was generated (entered the source queue).
+    pub birth: u64,
+    /// Whether the message was born after warm-up (is measured).
+    pub measured: bool,
+    /// The chain of held resources, oldest (injection) first.
+    pub chain: Vec<ChainStage>,
+    /// Flits delivered to the destination PE.
+    pub ejected: u32,
+    /// Header progress.
+    pub head: HeadState,
+}
+
+impl Message {
+    /// Flits still at the source, not yet entered into the first stage.
+    pub fn flits_at_source(&self) -> u32 {
+        match self.chain.first() {
+            Some(stage) => self.length - stage.entered,
+            None => self.length,
+        }
+    }
+
+    /// Occupancy of the buffer of stage `i`: flits that entered stage `i`
+    /// but have not yet entered stage `i + 1` (or been ejected, for the
+    /// last stage).
+    pub fn stage_occupancy(&self, i: usize) -> u32 {
+        let entered = self.chain[i].entered;
+        let left = match self.chain.get(i + 1) {
+            Some(next) => next.entered,
+            None => self.ejected,
+        };
+        entered - left
+    }
+
+    /// True when every flit has been delivered.
+    pub fn is_delivered(&self) -> bool {
+        self.ejected == self.length
+    }
+
+    /// Latency if the message completed at `cycle`: generation to delivery
+    /// of the tail flit, inclusive.
+    pub fn latency_at(&self, cycle: u64) -> u64 {
+        cycle - self.birth + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg() -> Message {
+        Message {
+            src: NodeId(0),
+            dest: NodeId(5),
+            class: MessageClass::Regular,
+            length: 4,
+            birth: 100,
+            measured: true,
+            chain: Vec::new(),
+            ejected: 0,
+            head: HeadState::WaitingFor { port: 7 },
+        }
+    }
+
+    #[test]
+    fn source_flits_track_first_stage() {
+        let mut m = msg();
+        assert_eq!(m.flits_at_source(), 4);
+        m.chain.push(ChainStage {
+            port: 7,
+            vc: 0,
+            entered: 3,
+        });
+        assert_eq!(m.flits_at_source(), 1);
+    }
+
+    #[test]
+    fn occupancy_is_entered_minus_left() {
+        let mut m = msg();
+        m.chain.push(ChainStage {
+            port: 7,
+            vc: 0,
+            entered: 4,
+        });
+        m.chain.push(ChainStage {
+            port: 9,
+            vc: 1,
+            entered: 2,
+        });
+        m.ejected = 1;
+        assert_eq!(m.stage_occupancy(0), 2); // 4 entered, 2 moved on
+        assert_eq!(m.stage_occupancy(1), 1); // 2 entered, 1 ejected
+    }
+
+    #[test]
+    fn delivery_and_latency() {
+        let mut m = msg();
+        assert!(!m.is_delivered());
+        m.ejected = 4;
+        assert!(m.is_delivered());
+        assert_eq!(m.latency_at(150), 51);
+    }
+}

@@ -1,0 +1,161 @@
+//! Identification of physical network channels.
+//!
+//! Each node owns one outgoing channel per dimension and direction.  A
+//! channel is named by its *source* node, the dimension it travels in, and
+//! the direction around the ring.  Channels get dense integer ids
+//! ([`ChannelId`]) so simulator and statistics code can use flat tables.
+
+use crate::geometry::{KAryNCube, LinkKind, NodeId};
+
+/// Direction of travel around a ring.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Direction {
+    /// Towards increasing coordinates (`+1 mod k`); the only direction in the
+    /// unidirectional networks the paper analyses.
+    Plus,
+    /// Towards decreasing coordinates (`-1 mod k`); bidirectional networks
+    /// only.
+    Minus,
+}
+
+impl Direction {
+    /// 0 for `Plus`, 1 for `Minus` — used in channel-id packing.
+    #[inline]
+    pub fn index(self) -> u32 {
+        match self {
+            Direction::Plus => 0,
+            Direction::Minus => 1,
+        }
+    }
+}
+
+/// A physical network channel: the outgoing link of `from` in `dim`,
+/// travelling `direction` around the ring.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Channel {
+    /// Source node of the channel.
+    pub from: NodeId,
+    /// Dimension the channel travels in.
+    pub dim: u32,
+    /// Direction around the ring.
+    pub direction: Direction,
+}
+
+impl Channel {
+    /// The node this channel delivers flits to.
+    pub fn to(&self, topo: &KAryNCube) -> NodeId {
+        match self.direction {
+            Direction::Plus => topo.neighbor_plus(self.from, self.dim),
+            Direction::Minus => topo.neighbor_minus(self.from, self.dim),
+        }
+    }
+
+    /// Dense id of this channel in `topo`.
+    ///
+    /// Packing: unidirectional `id = from·n + dim`; bidirectional
+    /// `id = (from·n + dim)·2 + direction`.
+    pub fn id(&self, topo: &KAryNCube) -> ChannelId {
+        let base = self.from.0 * topo.n() + self.dim;
+        match topo.link_kind() {
+            LinkKind::Unidirectional => {
+                debug_assert_eq!(self.direction, Direction::Plus);
+                ChannelId(base)
+            }
+            LinkKind::Bidirectional => ChannelId(base * 2 + self.direction.index()),
+        }
+    }
+
+    /// Inverse of [`Channel::id`].
+    pub fn from_id(topo: &KAryNCube, id: ChannelId) -> Channel {
+        match topo.link_kind() {
+            LinkKind::Unidirectional => Channel {
+                from: NodeId(id.0 / topo.n()),
+                dim: id.0 % topo.n(),
+                direction: Direction::Plus,
+            },
+            LinkKind::Bidirectional => {
+                let direction = if id.0.is_multiple_of(2) {
+                    Direction::Plus
+                } else {
+                    Direction::Minus
+                };
+                let base = id.0 / 2;
+                Channel {
+                    from: NodeId(base / topo.n()),
+                    dim: base % topo.n(),
+                    direction,
+                }
+            }
+        }
+    }
+}
+
+/// Dense integer id of a physical channel; see [`Channel::id`] for packing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The raw index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_unidirectional() {
+        let t = KAryNCube::unidirectional(5, 3).unwrap();
+        let mut seen = vec![false; t.num_channels() as usize];
+        for from in t.nodes() {
+            for dim in 0..t.n() {
+                let c = Channel {
+                    from,
+                    dim,
+                    direction: Direction::Plus,
+                };
+                let id = c.id(&t);
+                assert!(!seen[id.index()], "duplicate channel id {id:?}");
+                seen[id.index()] = true;
+                assert_eq!(Channel::from_id(&t, id), c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn id_roundtrip_bidirectional() {
+        let t = KAryNCube::bidirectional(4, 2).unwrap();
+        let mut seen = vec![false; t.num_channels() as usize];
+        for from in t.nodes() {
+            for dim in 0..t.n() {
+                for direction in [Direction::Plus, Direction::Minus] {
+                    let c = Channel {
+                        from,
+                        dim,
+                        direction,
+                    };
+                    let id = c.id(&t);
+                    assert!(!seen[id.index()]);
+                    seen[id.index()] = true;
+                    assert_eq!(Channel::from_id(&t, id), c);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn channel_destination() {
+        let t = KAryNCube::unidirectional(4, 2).unwrap();
+        let c = Channel {
+            from: t.node_at(&[3, 1]),
+            dim: 0,
+            direction: Direction::Plus,
+        };
+        assert_eq!(t.coords(c.to(&t)), vec![0, 1]);
+    }
+}

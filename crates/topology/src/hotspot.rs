@@ -1,0 +1,414 @@
+//! Hot-spot geometry of §3 of the paper (2-D unidirectional torus).
+//!
+//! With the hot-spot node at `(v_hx, v_hy)`, the paper names:
+//!
+//! * the **hot y-ring** — the ring along dimension `y` containing the
+//!   hot-spot node (all nodes with `x = v_hx`).  Every hot-spot message that
+//!   moves in `y` does so inside this ring, because dimension-order routing
+//!   corrects `x` first;
+//! * a channel of the hot y-ring is **`j` hops away from the hot-spot node**
+//!   (`1 <= j <= k`) when `j` forward hops in `y` from its source node reach
+//!   the hot node; `j = k` names the outgoing channel of the hot node
+//!   itself;
+//! * a channel of an x-ring is **`j` hops away from the hot y-ring**
+//!   (`1 <= j <= k`) when `j` forward hops in `x` reach the hot column;
+//!   `j = k` names outgoing channels of hot-y-ring nodes;
+//! * an x-ring is **`t` hops away from the hot-spot node** (`1 <= t <= k`)
+//!   when its nodes are `t` forward `y`-hops from `v_hy`; `t = k` is the
+//!   x-ring through the hot node.
+//!
+//! From this geometry, the fractions of system nodes whose hot-spot traffic
+//! crosses a given channel are (Eqs. 4–5):
+//!
+//! ```text
+//! P_hx,j = (k - j) / N          (x channel, j hops from the hot y-ring)
+//! P_hy,j = k (k - j) / N        (hot y-ring channel, j hops from hot node)
+//! ```
+//!
+//! Both are verified against brute-force route enumeration in the tests.
+
+use crate::channel::{Channel, Direction};
+use crate::geometry::{KAryNCube, LinkKind, NodeId, TopologyError};
+use crate::ring::Ring;
+
+/// Dimension index of the paper's `x` dimension.
+pub const DIM_X: u32 = 0;
+/// Dimension index of the paper's `y` dimension.
+pub const DIM_Y: u32 = 1;
+
+/// Classification of a source node relative to the hot-spot node, used by
+/// the analytical model to weight per-source latencies (Eqs. 22, 24, 32).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SourceClass {
+    /// The hot-spot node itself (generates only regular traffic).
+    HotNode,
+    /// A node of the hot y-ring, `j` hops (`1..k`) from the hot-spot node.
+    HotYRing {
+        /// Forward `y` distance to the hot-spot node.
+        j: u32,
+    },
+    /// Any other node: within the x-ring `t` hops (`1..=k`) from the
+    /// hot-spot node, `j` hops (`1..k`) from the hot y-ring.  `t = k` means
+    /// the x-ring containing the hot-spot node.
+    XRing {
+        /// Forward `x` distance to the hot y-ring (column of the hot node).
+        j: u32,
+        /// Distance of the node's x-ring from the hot-spot node (paper
+        /// convention: `k` for the hot node's own x-ring).
+        t: u32,
+    },
+}
+
+/// Hot-spot geometry helper for a 2-D unidirectional torus.
+#[derive(Clone, Copy, Debug)]
+pub struct HotSpotGeometry {
+    topo: KAryNCube,
+    hot: NodeId,
+}
+
+impl HotSpotGeometry {
+    /// Build the geometry; the topology must be a unidirectional 2-D torus
+    /// (the configuration the paper's analysis covers).
+    pub fn new(topo: KAryNCube, hot: NodeId) -> Result<Self, TopologyError> {
+        if topo.n() != 2 {
+            return Err(TopologyError::BadDimensionCount);
+        }
+        if topo.link_kind() != LinkKind::Unidirectional {
+            // The analysis "considers only the uni-directional case".
+            return Err(TopologyError::BadDimensionCount);
+        }
+        Ok(HotSpotGeometry { topo, hot })
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &KAryNCube {
+        &self.topo
+    }
+
+    /// The hot-spot node.
+    pub fn hot_node(&self) -> NodeId {
+        self.hot
+    }
+
+    /// The hot y-ring: the dimension-`y` ring containing the hot-spot node.
+    pub fn hot_y_ring(&self) -> Ring {
+        self.topo.ring_of(self.hot, DIM_Y)
+    }
+
+    /// Paper distance convention: forward distance mapped into `1..=k`, with
+    /// `k` standing for "zero" (the channel leaving the reference node /
+    /// the reference ring itself).
+    #[inline]
+    fn paper_distance(&self, forward: u32) -> u32 {
+        if forward == 0 {
+            self.topo.k()
+        } else {
+            forward
+        }
+    }
+
+    /// Distance (`1..=k`) of a hot-y-ring channel from the hot-spot node.
+    /// Returns `None` for channels that are not y-channels of the hot
+    /// y-ring.
+    pub fn y_channel_distance(&self, channel: Channel) -> Option<u32> {
+        if channel.dim != DIM_Y || channel.direction != Direction::Plus {
+            return None;
+        }
+        if self.topo.coord(channel.from, DIM_X) != self.topo.coord(self.hot, DIM_X) {
+            return None;
+        }
+        let fwd = self.topo.ring_distance_forward(
+            self.topo.coord(channel.from, DIM_Y),
+            self.topo.coord(self.hot, DIM_Y),
+        );
+        Some(self.paper_distance(fwd))
+    }
+
+    /// Distance (`1..=k`) of an x-channel from the hot y-ring.  Returns
+    /// `None` for non-x channels.
+    pub fn x_channel_distance(&self, channel: Channel) -> Option<u32> {
+        if channel.dim != DIM_X || channel.direction != Direction::Plus {
+            return None;
+        }
+        let fwd = self.topo.ring_distance_forward(
+            self.topo.coord(channel.from, DIM_X),
+            self.topo.coord(self.hot, DIM_X),
+        );
+        Some(self.paper_distance(fwd))
+    }
+
+    /// Distance (`1..=k`) of the x-ring containing `node` from the hot-spot
+    /// node (`k` for the hot node's own x-ring).
+    pub fn x_ring_distance(&self, node: NodeId) -> u32 {
+        let fwd = self.topo.ring_distance_forward(
+            self.topo.coord(node, DIM_Y),
+            self.topo.coord(self.hot, DIM_Y),
+        );
+        self.paper_distance(fwd)
+    }
+
+    /// Classify a source node per the model's source taxonomy.
+    pub fn classify_source(&self, src: NodeId) -> SourceClass {
+        if src == self.hot {
+            return SourceClass::HotNode;
+        }
+        let dx = self.topo.ring_distance_forward(
+            self.topo.coord(src, DIM_X),
+            self.topo.coord(self.hot, DIM_X),
+        );
+        let dy = self.topo.ring_distance_forward(
+            self.topo.coord(src, DIM_Y),
+            self.topo.coord(self.hot, DIM_Y),
+        );
+        if dx == 0 {
+            SourceClass::HotYRing { j: dy }
+        } else {
+            SourceClass::XRing {
+                j: dx,
+                t: self.paper_distance(dy),
+            }
+        }
+    }
+
+    /// Eq. (4): `P_hx,j = (k - j)/N` — fraction of system nodes whose
+    /// hot-spot messages cross a given x-channel `j` hops from the hot
+    /// y-ring (`1 <= j <= k`; zero at `j = k`).
+    pub fn p_hx(&self, j: u32) -> f64 {
+        assert!((1..=self.topo.k()).contains(&j));
+        (self.topo.k() - j) as f64 / self.topo.num_nodes() as f64
+    }
+
+    /// Eq. (5): `P_hy,j = k(k - j)/N` — fraction of system nodes whose
+    /// hot-spot messages cross the hot-y-ring channel `j` hops from the
+    /// hot-spot node (`1 <= j <= k`; zero at `j = k`).
+    ///
+    /// ```
+    /// use kncube_topology::{HotSpotGeometry, KAryNCube, NodeId};
+    /// let t = KAryNCube::unidirectional(16, 2).unwrap();
+    /// let g = HotSpotGeometry::new(t, NodeId(0)).unwrap();
+    /// // The last channel into the hot node serves k(k-1) = 240 of the
+    /// // 256 nodes (everyone outside the hot node's own x-ring).
+    /// assert_eq!(g.p_hy(1), 240.0 / 256.0);
+    /// assert_eq!(g.p_hy(16), 0.0);
+    /// ```
+    pub fn p_hy(&self, j: u32) -> f64 {
+        assert!((1..=self.topo.k()).contains(&j));
+        (self.topo.k() * (self.topo.k() - j)) as f64 / self.topo.num_nodes() as f64
+    }
+
+    /// Brute-force count of the source nodes whose dimension-order route to
+    /// the hot-spot node crosses `channel` (test oracle for Eqs. 4–5).
+    pub fn count_hot_sources_crossing(&self, channel: Channel) -> u32 {
+        let mut count = 0;
+        for src in self.topo.nodes() {
+            if src == self.hot {
+                continue;
+            }
+            let route = self.topo.dor_route(src, self.hot);
+            if route.hops.iter().any(|h| h.channel == channel) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry(k: u32, hot: &[u32]) -> HotSpotGeometry {
+        let t = KAryNCube::unidirectional(k, 2).unwrap();
+        let hot = t.node_at(hot);
+        HotSpotGeometry::new(t, hot).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_2d_or_bidirectional() {
+        let t3 = KAryNCube::unidirectional(4, 3).unwrap();
+        assert!(HotSpotGeometry::new(t3, NodeId(0)).is_err());
+        let tb = KAryNCube::bidirectional(4, 2).unwrap();
+        assert!(HotSpotGeometry::new(tb, NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn hot_y_ring_is_hot_column() {
+        let g = geometry(5, &[3, 1]);
+        let ring = g.hot_y_ring();
+        assert_eq!(ring.nodes.len(), 5);
+        for &m in &ring.nodes {
+            assert_eq!(g.topology().coord(m, DIM_X), 3);
+        }
+    }
+
+    #[test]
+    fn paper_distance_conventions() {
+        let g = geometry(4, &[1, 2]);
+        let t = g.topology();
+        // Outgoing y channel of the hot node itself: distance k.
+        let c = Channel {
+            from: t.node_at(&[1, 2]),
+            dim: DIM_Y,
+            direction: Direction::Plus,
+        };
+        assert_eq!(g.y_channel_distance(c), Some(4));
+        // One hop before the hot node: distance 1.
+        let c = Channel {
+            from: t.node_at(&[1, 1]),
+            dim: DIM_Y,
+            direction: Direction::Plus,
+        };
+        assert_eq!(g.y_channel_distance(c), Some(1));
+        // Wrap-around counting: node y=3 is (2-3) mod 4 = 3 hops away.
+        let c = Channel {
+            from: t.node_at(&[1, 3]),
+            dim: DIM_Y,
+            direction: Direction::Plus,
+        };
+        assert_eq!(g.y_channel_distance(c), Some(3));
+        // y channels outside the hot column are not hot-ring channels.
+        let c = Channel {
+            from: t.node_at(&[0, 1]),
+            dim: DIM_Y,
+            direction: Direction::Plus,
+        };
+        assert_eq!(g.y_channel_distance(c), None);
+        // x channel leaving the hot column: distance k.
+        let c = Channel {
+            from: t.node_at(&[1, 0]),
+            dim: DIM_X,
+            direction: Direction::Plus,
+        };
+        assert_eq!(g.x_channel_distance(c), Some(4));
+        // x-ring through the hot node has paper-distance k.
+        assert_eq!(g.x_ring_distance(t.node_at(&[0, 2])), 4);
+        assert_eq!(g.x_ring_distance(t.node_at(&[0, 1])), 1);
+    }
+
+    #[test]
+    fn source_classification_partitions_nodes() {
+        let g = geometry(6, &[2, 4]);
+        let t = g.topology();
+        let k = t.k();
+        let mut hot_nodes = 0u32;
+        let mut hot_ring = vec![0u32; k as usize + 1];
+        let mut x_ring = vec![vec![0u32; k as usize + 1]; k as usize + 1];
+        for src in t.nodes() {
+            match g.classify_source(src) {
+                SourceClass::HotNode => hot_nodes += 1,
+                SourceClass::HotYRing { j } => {
+                    assert!((1..k).contains(&j));
+                    hot_ring[j as usize] += 1;
+                }
+                SourceClass::XRing { j, t: tt } => {
+                    assert!((1..k).contains(&j));
+                    assert!((1..=k).contains(&tt));
+                    x_ring[j as usize][tt as usize] += 1;
+                }
+            }
+        }
+        assert_eq!(hot_nodes, 1);
+        // Exactly one node per (j) in the hot ring and per (j, t) elsewhere.
+        for j in 1..k {
+            assert_eq!(hot_ring[j as usize], 1);
+            for tt in 1..=k {
+                assert_eq!(x_ring[j as usize][tt as usize], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn eq4_matches_bruteforce_on_every_x_channel() {
+        for k in [3u32, 4, 5] {
+            let g = geometry(k, &[k - 1, 1]);
+            let t = *g.topology();
+            let n = t.num_nodes() as f64;
+            for from in t.nodes() {
+                let c = Channel {
+                    from,
+                    dim: DIM_X,
+                    direction: Direction::Plus,
+                };
+                let j = g.x_channel_distance(c).unwrap();
+                let counted = g.count_hot_sources_crossing(c) as f64 / n;
+                assert!(
+                    (counted - g.p_hx(j)).abs() < 1e-12,
+                    "k={k} channel from {:?}: bruteforce {counted} vs P_hx,{j}={}",
+                    t.coords(from),
+                    g.p_hx(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eq5_matches_bruteforce_on_every_hot_ring_channel() {
+        for k in [3u32, 4, 5] {
+            let g = geometry(k, &[0, 2 % k]);
+            let t = *g.topology();
+            let n = t.num_nodes() as f64;
+            for &from in &g.hot_y_ring().nodes {
+                let c = Channel {
+                    from,
+                    dim: DIM_Y,
+                    direction: Direction::Plus,
+                };
+                let j = g.y_channel_distance(c).unwrap();
+                let counted = g.count_hot_sources_crossing(c) as f64 / n;
+                assert!(
+                    (counted - g.p_hy(j)).abs() < 1e-12,
+                    "k={k} hot-ring channel at j={j}: bruteforce {counted} vs {}",
+                    g.p_hy(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_hot_ring_y_channels_carry_no_hot_traffic() {
+        let g = geometry(4, &[2, 2]);
+        let t = *g.topology();
+        for from in t.nodes() {
+            if t.coord(from, DIM_X) == 2 {
+                continue;
+            }
+            let c = Channel {
+                from,
+                dim: DIM_Y,
+                direction: Direction::Plus,
+            };
+            assert_eq!(g.count_hot_sources_crossing(c), 0);
+        }
+    }
+
+    #[test]
+    fn hot_traffic_conservation() {
+        // Total channel crossings by hot traffic must equal the total hop
+        // count of all sources' routes to the hot node; checks that the
+        // per-position rates integrate to the global load.
+        let g = geometry(5, &[1, 3]);
+        let t = *g.topology();
+        let total_hops: u32 = t
+            .nodes()
+            .filter(|&s| s != g.hot_node())
+            .map(|s| t.hop_count(s, g.hot_node()))
+            .sum();
+        let mut by_channels = 0u32;
+        for from in t.nodes() {
+            for dim in 0..2 {
+                let c = Channel {
+                    from,
+                    dim,
+                    direction: Direction::Plus,
+                };
+                by_channels += g.count_hot_sources_crossing(c);
+            }
+        }
+        assert_eq!(total_hops, by_channels);
+        // And the closed forms integrate to the same: k rings × Σ_j (k-j)
+        // in x, plus Σ_j k(k-j) in y.
+        let k = t.k();
+        let closed: u32 = (1..=k).map(|j| k * (k - j)).sum::<u32>() * 2;
+        assert_eq!(total_hops, closed);
+    }
+}

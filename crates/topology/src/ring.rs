@@ -1,0 +1,118 @@
+//! Rings of the torus.
+//!
+//! §3 of the paper views the 2-D torus "as a set of k rings along each
+//! dimension": the *x-rings* (rings that travel in dimension `x`, one per
+//! `y` coordinate) and the *y-rings* (rings that travel in dimension `y`,
+//! one per `x` coordinate).  In general, a ring of dimension `d` is the set
+//! of `k` nodes that share all coordinates except the one in `d`.
+
+use crate::geometry::{KAryNCube, NodeId};
+
+/// Identifier of a ring: the dimension it travels in plus a dense index over
+/// the `N/k` rings of that dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RingId {
+    /// Dimension the ring travels in.
+    pub dim: u32,
+    /// Dense index among the rings of this dimension (`0..N/k`).
+    pub index: u32,
+}
+
+/// A ring of the torus: the `k` nodes sharing all coordinates except the one
+/// in dimension [`Ring::dim`].
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// Dimension the ring travels in.
+    pub dim: u32,
+    /// The member nodes, ordered by their coordinate in `dim`.
+    pub nodes: Vec<NodeId>,
+}
+
+impl KAryNCube {
+    /// Number of rings per dimension, `N/k`.
+    pub fn rings_per_dim(&self) -> u32 {
+        self.num_nodes() / self.k()
+    }
+
+    /// The ring of dimension `dim` containing `node`.
+    pub fn ring_of(&self, node: NodeId, dim: u32) -> Ring {
+        let nodes = (0..self.k())
+            .map(|c| self.with_coord(node, dim, c))
+            .collect();
+        Ring { dim, nodes }
+    }
+
+    /// The id of the ring of dimension `dim` containing `node`: the node's
+    /// remaining coordinates collapsed into a dense mixed-radix index.
+    pub fn ring_id_of(&self, node: NodeId, dim: u32) -> RingId {
+        let mut index = 0u32;
+        let mut stride = 1u32;
+        for d in 0..self.n() {
+            if d == dim {
+                continue;
+            }
+            index += self.coord(node, d) * stride;
+            stride *= self.k();
+        }
+        RingId { dim, index }
+    }
+
+    /// Whether `a` and `b` lie on the same ring of dimension `dim`.
+    pub fn same_ring(&self, a: NodeId, b: NodeId, dim: u32) -> bool {
+        self.ring_id_of(a, dim) == self.ring_id_of(b, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ring_membership_2d() {
+        let t = KAryNCube::unidirectional(4, 2).unwrap();
+        let node = t.node_at(&[2, 1]);
+        // x-ring (dim 0): all nodes with y = 1.
+        let xr = t.ring_of(node, 0);
+        assert_eq!(xr.nodes.len(), 4);
+        for (i, &m) in xr.nodes.iter().enumerate() {
+            assert_eq!(t.coords(m), vec![i as u32, 1]);
+        }
+        // y-ring (dim 1): all nodes with x = 2.
+        let yr = t.ring_of(node, 1);
+        for (i, &m) in yr.nodes.iter().enumerate() {
+            assert_eq!(t.coords(m), vec![2, i as u32]);
+        }
+    }
+
+    #[test]
+    fn ring_ids_partition_nodes() {
+        let t = KAryNCube::unidirectional(5, 3).unwrap();
+        for dim in 0..t.n() {
+            let mut by_ring: std::collections::HashMap<u32, HashSet<NodeId>> = Default::default();
+            for node in t.nodes() {
+                let rid = t.ring_id_of(node, dim);
+                assert_eq!(rid.dim, dim);
+                assert!(rid.index < t.rings_per_dim());
+                by_ring.entry(rid.index).or_default().insert(node);
+            }
+            assert_eq!(by_ring.len(), t.rings_per_dim() as usize);
+            for members in by_ring.values() {
+                assert_eq!(members.len(), t.k() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn same_ring_agrees_with_ring_of() {
+        let t = KAryNCube::unidirectional(3, 2).unwrap();
+        for a in t.nodes() {
+            for dim in 0..t.n() {
+                let ring = t.ring_of(a, dim);
+                for b in t.nodes() {
+                    assert_eq!(t.same_ring(a, b, dim), ring.nodes.contains(&b));
+                }
+            }
+        }
+    }
+}

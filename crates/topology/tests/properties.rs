@@ -1,0 +1,90 @@
+//! Property-based tests for the topology substrate.
+
+use kncube_topology::hotspot::{DIM_X, DIM_Y};
+use kncube_topology::{Channel, Direction, HotSpotGeometry, KAryNCube, VcClass};
+use proptest::prelude::*;
+
+/// Strategy over modest unidirectional 2-D tori plus a hot-spot node.
+fn torus_and_hot() -> impl Strategy<Value = (KAryNCube, u32)> {
+    (2u32..=9).prop_flat_map(|k| {
+        let t = KAryNCube::unidirectional(k, 2).unwrap();
+        let n = t.num_nodes();
+        (Just(t), 0..n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn routes_are_minimal_and_valid((t, hot) in torus_and_hot(), src in 0u32..81) {
+        let src = kncube_topology::NodeId(src % t.num_nodes());
+        let hot = kncube_topology::NodeId(hot);
+        let route = t.dor_route(src, hot);
+        prop_assert_eq!(route.len() as u32, t.hop_count(src, hot));
+        let mut cur = src;
+        for hop in &route.hops {
+            prop_assert_eq!(hop.channel.from, cur);
+            cur = hop.channel.to(&t);
+        }
+        prop_assert_eq!(cur, hot);
+    }
+
+    #[test]
+    fn route_hops_stay_in_source_x_ring_then_dest_y_ring((t, hot) in torus_and_hot(), src in 0u32..81) {
+        let src = kncube_topology::NodeId(src % t.num_nodes());
+        let hot = kncube_topology::NodeId(hot);
+        let route = t.dor_route(src, hot);
+        for hop in &route.hops {
+            match hop.channel.dim {
+                DIM_X => prop_assert_eq!(t.coord(hop.channel.from, DIM_Y), t.coord(src, DIM_Y)),
+                DIM_Y => prop_assert_eq!(t.coord(hop.channel.from, DIM_X), t.coord(hot, DIM_X)),
+                _ => prop_assert!(false, "unexpected dimension"),
+            }
+        }
+    }
+
+    #[test]
+    fn hot_fractions_match_bruteforce((t, hot) in torus_and_hot(), from in 0u32..81, dim in 0u32..2) {
+        let g = HotSpotGeometry::new(t, kncube_topology::NodeId(hot)).unwrap();
+        let from = kncube_topology::NodeId(from % t.num_nodes());
+        let c = Channel { from, dim, direction: Direction::Plus };
+        let counted = g.count_hot_sources_crossing(c) as f64 / t.num_nodes() as f64;
+        let expected = if dim == DIM_X {
+            g.p_hx(g.x_channel_distance(c).unwrap())
+        } else if g.y_channel_distance(c).is_some() {
+            g.p_hy(g.y_channel_distance(c).unwrap())
+        } else {
+            0.0
+        };
+        prop_assert!((counted - expected).abs() < 1e-12,
+            "channel {:?} dim {} counted {} expected {}", t.coords(from), dim, counted, expected);
+    }
+
+    #[test]
+    fn vc_labels_strictly_decrease_along_routes((t, _) in torus_and_hot(), a in 0u32..81, b in 0u32..81) {
+        // Dally-Seitz deadlock-freedom witness: label every virtual channel
+        // of a ring with label(Low, i) = 2k-1-i and label(High, i) = k-1-i
+        // (i = source coordinate). Every dimension-order route must visit
+        // channels of a ring in strictly decreasing label order; since
+        // messages acquire channels in path order, all channel-wait cycles
+        // would need a label increase somewhere, so none exist.
+        let a = kncube_topology::NodeId(a % t.num_nodes());
+        let b = kncube_topology::NodeId(b % t.num_nodes());
+        let k = t.k();
+        let route = t.dor_route(a, b);
+        for dim in 0..t.n() {
+            let mut last_label: Option<u32> = None;
+            for hop in route.hops.iter().filter(|h| h.channel.dim == dim) {
+                let i = t.coord(hop.channel.from, dim);
+                let label = match hop.vc_class {
+                    VcClass::Low => 2 * k - 1 - i,
+                    VcClass::High => k - 1 - i,
+                };
+                if let Some(prev) = last_label {
+                    prop_assert!(label < prev,
+                        "labels must strictly decrease: {} then {}", prev, label);
+                }
+                last_label = Some(label);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # kncube — hot-spot traffic in deterministically-routed k-ary n-cubes
+//!
+//! A from-scratch reproduction of *Loucif, Ould-Khaoua & Min, "Analytical
+//! Modelling of Hot-Spot Traffic in Deterministically-Routed K-Ary
+//! N-Cubes", IPDPS 2005*: the first analytical model of mean message
+//! latency for dimension-order wormhole routing in the 2-D unidirectional
+//! torus under Pfister–Norton hot-spot traffic, together with the
+//! flit-level simulator used to validate it.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`topology`] — k-ary n-cube geometry, dimension-order routing,
+//!   Dally–Seitz virtual-channel classes, hot-spot geometry (Eqs. 4–5);
+//! * [`traffic`] — Poisson sources and destination patterns (uniform,
+//!   hot-spot, and the classic synthetic suites);
+//! * [`queueing`] — M/G/1 waits, the blocking operator, Dally's
+//!   virtual-channel multiplexing model, fixed-point machinery
+//!   (Eqs. 26–30, 33–35);
+//! * [`model`] — the paper's latency model (Eqs. 1–37) and the
+//!   uniform-traffic baseline;
+//! * [`sim`] — the cycle-accurate wormhole simulator (§4's validation
+//!   vehicle).
+//!
+//! ## Reproduce the paper in three lines
+//!
+//! ```
+//! use kncube::model::{HotSpotModel, ModelConfig};
+//!
+//! // Figure 1, h = 20%: N = 256 torus, V = 2, Lm = 32 flits.
+//! let cfg = ModelConfig::paper_validation(16, 2, 32, 3e-4, 0.2);
+//! let latency = HotSpotModel::new(cfg).unwrap().solve().unwrap().latency;
+//! assert!(latency > 32.0 && latency < 200.0);
+//! ```
+//!
+//! And the matching simulation:
+//!
+//! ```no_run
+//! use kncube::sim::{SimConfig, Simulator};
+//!
+//! let cfg = SimConfig::paper_validation(16, 2, 32, 3e-4, 0.2, 42);
+//! let report = Simulator::new(cfg).unwrap().run();
+//! println!("simulated: {report}");
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the reconstruction notes
+//! (the paper's equations are OCR-damaged; every reconstruction decision
+//! is documented and justified against the figures), and `EXPERIMENTS.md`
+//! for the paper-vs-measured record of every figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kncube_core as model;
+pub use kncube_queueing as queueing;
+pub use kncube_sim as sim;
+pub use kncube_topology as topology;
+pub use kncube_traffic as traffic;
+
+/// The paper's validation network size (`N = 256` nodes, a 16×16 torus).
+pub const PAPER_RADIX: u32 = 16;
+
+/// The paper's virtual-channel count lower bound (`V >= 2`).
+pub const PAPER_VIRTUAL_CHANNELS: u32 = 2;
+
+/// The paper's two message lengths, in flits.
+pub const PAPER_MESSAGE_LENGTHS: [u32; 2] = [32, 100];
+
+/// The paper's three hot-spot fractions.
+pub const PAPER_HOT_FRACTIONS: [f64; 3] = [0.2, 0.4, 0.7];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compose() {
+        // A request flowing through all the crates via the facade.
+        let topo = crate::topology::KAryNCube::unidirectional(4, 2).unwrap();
+        assert_eq!(topo.num_nodes(), 16);
+        let probs = crate::model::RegularRouteProbs::new(4);
+        assert!((probs.total() - 1.0).abs() < 1e-12);
+        let w = crate::queueing::mg1::waiting_time(0.001, 33.0, 32.0).unwrap();
+        assert!(w > 0.0);
+    }
+}
