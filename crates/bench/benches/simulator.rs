@@ -26,8 +26,7 @@ fn bench_sim_load(c: &mut Criterion) {
         ("moderate_h20", 3e-4, 0.2),
         ("heavy_h70", 1.5e-4, 0.7),
     ] {
-        let cfg = SimConfig::paper_validation(16, 2, 32, lambda, h, 7)
-            .with_limits(u64::MAX, 0, 0);
+        let cfg = SimConfig::paper_validation(16, 2, 32, lambda, h, 7).with_limits(u64::MAX, 0, 0);
         group.bench_with_input(BenchmarkId::new("k16", name), &cfg, |b, cfg| {
             b.iter_custom(|iters| {
                 let start = Instant::now();
@@ -47,8 +46,7 @@ fn bench_sim_scale(c: &mut Criterion) {
     group.throughput(criterion::Throughput::Elements(CYCLES));
     for k in [8u32, 16, 32] {
         // Keep the per-node load constant so work scales with N.
-        let cfg = SimConfig::paper_validation(k, 2, 32, 1e-4, 0.2, 7)
-            .with_limits(u64::MAX, 0, 0);
+        let cfg = SimConfig::paper_validation(k, 2, 32, 1e-4, 0.2, 7).with_limits(u64::MAX, 0, 0);
         group.bench_with_input(BenchmarkId::new("k", k), &cfg, |b, cfg| {
             b.iter_custom(|iters| {
                 let start = Instant::now();

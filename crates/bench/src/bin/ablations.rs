@@ -28,7 +28,8 @@ fn model_latency(cfg: ModelConfig) -> String {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let fig = FigureConfig::paper(32, 0.4);
-    let sat = kncube_core::find_saturation(fig.model_config(0.0), 1e-8, 1e-2, 1e-3);
+    let sat = kncube_core::find_saturation(fig.model_config(0.0), 1e-8, 1e-2, 1e-3)
+        .expect("paper configurations saturate inside the bracket");
     let grid: Vec<f64> = [0.3, 0.6, 0.85].iter().map(|f| f * sat).collect();
 
     // The Eq. 25 reading only matters when competitor services depend on
@@ -68,10 +69,7 @@ fn main() {
     }
 
     println!("\n== ABL-HOLD: service-time model (model, Lm=32, h=40%) ==");
-    println!(
-        "{:>12} {:>10} {:>10}",
-        "traffic", "pipelined", "path-occ"
-    );
+    println!("{:>12} {:>10} {:>10}", "traffic", "pipelined", "path-occ");
     for &lambda in path_grid.iter().chain(&grid) {
         let base = fig.model_config(lambda);
         let path = ModelConfig {
@@ -104,10 +102,11 @@ fn main() {
             multiplexing: MultiplexingModel::ClassAware,
             ..base
         };
-        let sim = Simulator::new(
-            fig.sim_config(lambda)
-                .with_limits(sim_limits.0, sim_limits.1, sim_limits.2),
-        )
+        let sim = Simulator::new(fig.sim_config(lambda).with_limits(
+            sim_limits.0,
+            sim_limits.1,
+            sim_limits.2,
+        ))
         .unwrap()
         .run();
         println!(
@@ -170,12 +169,7 @@ fn main() {
                 format!("{:>10.1}", r.mean_latency)
             }
         };
-        println!(
-            "{lambda:>12.3e} {} {} {}",
-            cell(&d1),
-            cell(&d2),
-            cell(&d4)
-        );
+        println!("{lambda:>12.3e} {} {} {}", cell(&d1), cell(&d2), cell(&d4));
     }
     println!("(depth 1 halves sustainable bandwidth — it saturates where depth 2 cruises)");
 }

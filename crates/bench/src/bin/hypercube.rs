@@ -23,7 +23,11 @@ fn main() {
     let (n, lm, h) = (6u32, 32u32, 0.3); // 64-node hypercube
     let model0 = HypercubeModel::new(n, 2, lm, 0.0, h).unwrap();
     let sat = model0.saturation_bound();
-    let fractions = if quick { vec![0.2, 0.5] } else { vec![0.2, 0.4, 0.6, 0.8] };
+    let fractions = if quick {
+        vec![0.2, 0.5]
+    } else {
+        vec![0.2, 0.4, 0.6, 0.8]
+    };
     let limits = if quick {
         (400_000u64, 40_000u64, 10_000u64)
     } else {
@@ -65,7 +69,8 @@ fn main() {
         1e-8,
         1e-2,
         1e-3,
-    );
+    )
+    .expect("torus saturates inside the bracket");
     println!(
         "\nat N = 256, Lm = 32, h = 20%:\n\
          hypercube λ* ≈ {hyper256:.3e}   (worst channel drains N/2 = 128 hot sources)\n\

@@ -29,8 +29,7 @@ fn sim_saturation(cfg: &FigureConfig, lo0: f64, hi0: f64) -> f64 {
         // Statistical guard: Poisson counting noise on the measured
         // throughput, plus a 1.5% systematic allowance for warm-up edge
         // effects.
-        let measured_cycles =
-            (report.cycles.saturating_sub(cfg.sim_limits.1)).max(1) as f64;
+        let measured_cycles = (report.cycles.saturating_sub(cfg.sim_limits.1)).max(1) as f64;
         let n = (cfg.k * cfg.k) as f64;
         let sigma = (lambda / (measured_cycles * n)).sqrt();
         report.throughput < lambda - (3.0 * sigma + 0.015 * lambda)
@@ -64,7 +63,14 @@ fn main() {
     let configs: Vec<(u32, f64)> = if quick {
         vec![(32, 0.2), (32, 0.7)]
     } else {
-        vec![(32, 0.2), (32, 0.4), (32, 0.7), (100, 0.2), (100, 0.4), (100, 0.7)]
+        vec![
+            (32, 0.2),
+            (32, 0.4),
+            (32, 0.7),
+            (100, 0.2),
+            (100, 0.4),
+            (100, 0.7),
+        ]
     };
     for (lm, h) in configs {
         let mut cfg = FigureConfig::paper(lm, h);
@@ -74,7 +80,8 @@ fn main() {
         } else {
             (600_000, 50_000, 0)
         };
-        let model_sat = kncube_core::find_saturation(cfg.model_config(0.0), 1e-8, 1e-2, 1e-3);
+        let model_sat = kncube_core::find_saturation(cfg.model_config(0.0), 1e-8, 1e-2, 1e-3)
+            .expect("paper configurations saturate inside the bracket");
         let sim_sat = sim_saturation(&cfg, 0.5 * model_sat, 1.4 * model_sat);
         let bound = 1.0 / (h * (cfg.k * (cfg.k - 1)) as f64 * (lm + 1) as f64);
         println!(

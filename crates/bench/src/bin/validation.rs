@@ -47,17 +47,14 @@ fn main() {
                     } else {
                         (1_500_000, 100_000, 30_000)
                     };
-                    let sat =
-                        kncube_core::find_saturation(cfg.model_config(0.0), 1e-8, 1e-1, 1e-3);
+                    let sat = kncube_core::find_saturation(cfg.model_config(0.0), 1e-8, 1e-1, 1e-3)
+                        .expect("validation configurations saturate inside the bracket");
                     let lambda = 0.4 * sat;
-                    let model = HotSpotModel::new(cfg.model_config(lambda))
-                        .unwrap()
-                        .solve();
+                    let model = HotSpotModel::new(cfg.model_config(lambda)).unwrap().solve();
                     let sim = Simulator::new(cfg.sim_config(lambda)).unwrap().run();
                     match model {
                         Ok(m) => {
-                            let err =
-                                (m.latency - sim.mean_latency) / sim.mean_latency * 100.0;
+                            let err = (m.latency - sim.mean_latency) / sim.mean_latency * 100.0;
                             worst = worst.max(err.abs());
                             if h > 0.0 {
                                 worst_hot = worst_hot.max(err.abs());

@@ -11,6 +11,7 @@
 
 use kncube_core::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
 use kncube_sim::{SimConfig, SimReport, Simulator};
+use rayon::prelude::*;
 
 /// One experimental configuration (a subfigure of the paper).
 #[derive(Clone, Copy, Debug)]
@@ -72,7 +73,8 @@ impl FigureConfig {
     /// `top_fraction · λ*`, where `λ*` is the model's saturation rate —
     /// the same sweep the paper's figures plot.
     pub fn lambda_grid(&self) -> Vec<f64> {
-        let sat = kncube_core::find_saturation(self.model_config(0.0), 1e-8, 1e-2, 1e-3);
+        let sat = kncube_core::find_saturation(self.model_config(0.0), 1e-8, 1e-2, 1e-3)
+            .expect("paper-style configurations saturate inside the bracket");
         (1..=self.points)
             .map(|i| sat * self.top_fraction * i as f64 / self.points as f64)
             .collect()
@@ -101,28 +103,21 @@ impl FigureRow {
 }
 
 /// Regenerate one subfigure: run the model and the simulator over the λ
-/// grid.  Simulator points run in parallel (they dominate the cost).
+/// grid.  Points run in parallel on the pooled rayon workers (the
+/// simulator dominates the cost; the model solve per point is cheap).
 pub fn run_figure(config: &FigureConfig) -> Vec<FigureRow> {
     let lambdas = config.lambda_grid();
-    let mut sims: Vec<Option<SimReport>> = (0..lambdas.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, &lambda) in sims.iter_mut().zip(&lambdas) {
-            scope.spawn(move |_| {
-                let sim = Simulator::new(config.sim_config(lambda))
-                    .expect("valid sim config")
-                    .run();
-                *slot = Some(sim);
-            });
-        }
-    })
-    .expect("simulation worker panicked");
     lambdas
-        .iter()
-        .zip(sims)
-        .map(|(&lambda, sim)| FigureRow {
-            lambda,
-            model: HotSpotModel::new(config.model_config(lambda)).and_then(|m| m.solve()),
-            sim: sim.expect("slot filled"),
+        .par_iter()
+        .map(|&lambda| {
+            let sim = Simulator::new(config.sim_config(lambda))
+                .expect("valid sim config")
+                .run();
+            FigureRow {
+                lambda,
+                model: HotSpotModel::new(config.model_config(lambda)).and_then(|m| m.solve()),
+                sim,
+            }
         })
         .collect()
 }
@@ -196,8 +191,8 @@ pub fn check_figure_shape(rows: &[FigureRow]) -> Vec<String> {
         if a.saturated || b.saturated {
             continue;
         }
-        let slack = 3.0
-            * (a.ci_half_width.unwrap_or(0.0) + b.ci_half_width.unwrap_or(0.0)).max(1.0);
+        let slack =
+            3.0 * (a.ci_half_width.unwrap_or(0.0) + b.ci_half_width.unwrap_or(0.0)).max(1.0);
         if b.mean_latency + slack < a.mean_latency {
             violations.push(format!(
                 "simulated latency decreased: {:.1} → {:.1} between λ={:.3e} and {:.3e}",
@@ -224,7 +219,10 @@ mod tests {
         // last point (at 95% of λ* it should still solve).
         for &l in &grid {
             assert!(
-                HotSpotModel::new(cfg.model_config(l)).unwrap().solve().is_ok(),
+                HotSpotModel::new(cfg.model_config(l))
+                    .unwrap()
+                    .solve()
+                    .is_ok(),
                 "λ={l} unexpectedly saturated"
             );
         }

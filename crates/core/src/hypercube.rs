@@ -215,22 +215,16 @@ impl HypercubeModel {
         // latency of the node's traffic mix (network-averaged — the
         // simplification relative to the torus model's per-source waits).
         let s_mix = (1.0 - self.hot_fraction) * s_r_net + self.hot_fraction * s_h_net;
-        let source_wait = mg1::waiting_time(
-            self.lambda / self.virtual_channels as f64,
-            s_mix,
-            lm,
-        )
-        .map_err(|sat| ModelError::Saturated {
-            max_utilization: sat.rho,
-        })?;
+        let source_wait = mg1::waiting_time(self.lambda / self.virtual_channels as f64, s_mix, lm)
+            .map_err(|sat| ModelError::Saturated {
+                max_utilization: sat.rho,
+            })?;
 
         // --- Multiplexing degrees (Eqs. 33-35) per channel kind.
         let v = self.virtual_channels;
         let vbar_plain = multiplexing_factor(lr * service, v);
         let vbar_level: Vec<f64> = (0..self.n)
-            .map(|i| {
-                multiplexing_factor((lr + self.hot_channel_rate(i)) * service, v)
-            })
+            .map(|i| multiplexing_factor((lr + self.hot_channel_rate(i)) * service, v))
             .collect();
         let vbar_hot = vbar_level.iter().sum::<f64>() / self.n as f64;
         let vbar_reg = {
@@ -246,8 +240,7 @@ impl HypercubeModel {
 
         let regular_latency = (s_r_net + source_wait) * vbar_reg;
         let hot_latency = (s_h_net + source_wait) * vbar_hot;
-        let latency =
-            (1.0 - self.hot_fraction) * regular_latency + self.hot_fraction * hot_latency;
+        let latency = (1.0 - self.hot_fraction) * regular_latency + self.hot_fraction * hot_latency;
 
         Ok(HypercubeOutput {
             latency,
@@ -301,9 +294,7 @@ mod tests {
     fn hot_rates_double_per_level() {
         let m = HypercubeModel::new(6, 2, 32, 1e-3, 0.5).unwrap();
         for i in 0..5 {
-            assert!(
-                (m.hot_channel_rate(i + 1) - 2.0 * m.hot_channel_rate(i)).abs() < 1e-15
-            );
+            assert!((m.hot_channel_rate(i + 1) - 2.0 * m.hot_channel_rate(i)).abs() < 1e-15);
         }
         // Total hot traffic entering the hot node: Σ over levels of
         // (channels per level × rate) = Σ 2^{n-1-i}·λh2^i = n λh 2^{n-1}:
@@ -362,7 +353,8 @@ mod tests {
             1e-8,
             1e-2,
             1e-3,
-        );
+        )
+        .expect("torus saturates inside the bracket");
         assert!(
             hyper > 1.5 * torus,
             "hypercube bound {hyper:.3e} vs torus λ* {torus:.3e}"

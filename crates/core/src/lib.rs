@@ -27,8 +27,8 @@
 //!   (Eqs. 16–25) and the latency composition (Eqs. 10–15, 21–24, 31–37);
 //! * [`uniform`] — an independently-derived uniform-traffic baseline (the
 //!   `h → 0` sanity anchor);
-//! * [`sweep`] — load sweeps and saturation-point search, parallelised with
-//!   crossbeam.
+//! * [`sweep`] — load sweeps and saturation-point search, parallelised on
+//!   a bounded rayon worker pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,5 +47,5 @@ pub use solver::{
     HotSpotModel, ModelConfig, ModelError, ModelOutput, ModelVariant, MultiplexingModel,
     ServiceTimeModel,
 };
-pub use sweep::{latency_curve, find_saturation, CurvePoint};
+pub use sweep::{find_saturation, latency_curve, CurvePoint, SaturationError};
 pub use uniform::UniformModel;

@@ -135,11 +135,7 @@ mod tests {
                 (exact.y_only_nonhot_ring, model.y_only_nonhot_ring, "y-non"),
                 (exact.x_only, model.x_only, "x-only"),
                 (exact.x_then_hot_ring, model.x_then_hot_ring, "x-hot"),
-                (
-                    exact.x_then_nonhot_ring,
-                    model.x_then_nonhot_ring,
-                    "x-non",
-                ),
+                (exact.x_then_nonhot_ring, model.x_then_nonhot_ring, "x-non"),
             ] {
                 assert!(
                     (a - b).abs() < 1e-12,

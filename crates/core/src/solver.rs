@@ -185,7 +185,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::BadConfig(msg) => write!(f, "bad model configuration: {msg}"),
             ModelError::Saturated { max_utilization } => {
-                write!(f, "network saturated (max utilization {max_utilization:.4})")
+                write!(
+                    f,
+                    "network saturated (max utilization {max_utilization:.4})"
+                )
             }
             ModelError::NotConverged => write!(f, "model iteration did not converge"),
         }
@@ -411,7 +414,11 @@ impl HotSpotModel {
         match self.config.service_model {
             ServiceTimeModel::PipelinedTransfer => lm + 1.0,
             ServiceTimeModel::PathOccupancy => {
-                1.0 + if j == 1 { lm } else { state[layout.sh_y(j - 1)] }
+                1.0 + if j == 1 {
+                    lm
+                } else {
+                    state[layout.sh_y(j - 1)]
+                }
             }
         }
     }
@@ -487,12 +494,7 @@ impl HotSpotModel {
                     } else {
                         TrafficClass::none()
                     };
-                    sum += blocking_delay(
-                        TrafficClass::new(lr, holds.reg_x),
-                        hot,
-                        lm,
-                        RHO_CAP,
-                    );
+                    sum += blocking_delay(TrafficClass::new(lr, holds.reg_x), hot, lm, RHO_CAP);
                 }
             }
             sum / (k * k) as f64
@@ -523,13 +525,7 @@ impl HotSpotModel {
                     next[layout.sr_hot(j - 1)]
                 };
             // Eq. (18).
-            next[layout.sr_x(j)] = 1.0
-                + b_x
-                + if j == 1 {
-                    lm
-                } else {
-                    next[layout.sr_x(j - 1)]
-                };
+            next[layout.sr_x(j)] = 1.0 + b_x + if j == 1 { lm } else { next[layout.sr_x(j - 1)] };
             // Eq. (19): after the last x channel the message enters the hot
             // y-ring and sees its entrance service time.
             next[layout.sr_x_hot(j)] = 1.0
@@ -550,8 +546,8 @@ impl HotSpotModel {
             // Eq. (23): hot message in the hot y-ring competes with regular
             // traffic (holding of the regular hot-ring family) and the hot
             // traffic at its own channel position.
-            next[layout.sh_y(j)] = 1.0
-                + blocking_delay(
+            next[layout.sh_y(j)] =
+                1.0 + blocking_delay(
                     TrafficClass::new(lr, holds.reg_hot),
                     TrafficClass::new(
                         self.rates.hot_rate_y(j as u32),
@@ -559,12 +555,7 @@ impl HotSpotModel {
                     ),
                     lm,
                     RHO_CAP,
-                )
-                + if j == 1 {
-                    lm
-                } else {
-                    next[layout.sh_y(j - 1)]
-                };
+                ) + if j == 1 { lm } else { next[layout.sh_y(j - 1)] };
         }
         // Eq. (25), after the complete `S^h_y` chain is available (a hot
         // message leaving dimension x enters the hot ring at position `t`).
@@ -608,9 +599,7 @@ impl HotSpotModel {
             self.update(layout, state, next)
         })
         .map_err(|e| match e {
-            FixedPointError::NonFinite | FixedPointError::NotConverged => {
-                ModelError::NotConverged
-            }
+            FixedPointError::NonFinite | FixedPointError::NotConverged => ModelError::NotConverged,
         })?;
         self.compose(layout, &report.state, report.iterations)
     }
@@ -672,10 +661,8 @@ impl HotSpotModel {
                 } else {
                     TrafficClass::none()
                 };
-                max_util = max_util.max(channel_utilization(
-                    TrafficClass::new(lr, holds.reg_x),
-                    hot,
-                ));
+                max_util =
+                    max_util.max(channel_utilization(TrafficClass::new(lr, holds.reg_x), hot));
             }
         }
         if max_util >= 1.0 {
@@ -750,16 +737,18 @@ impl HotSpotModel {
             for t in 1..=k {
                 let rho = if j < k {
                     lr * holds.reg_x
-                        + self.rates.hot_rate_x(j as u32)
-                            * self.hot_hold_x(layout, state, j, t)
+                        + self.rates.hot_rate_x(j as u32) * self.hot_hold_x(layout, state, j, t)
                 } else {
                     lr * holds.reg_x
                 };
                 vbar_x[j][t] = vbar_of(rho);
             }
         }
-        let vbar_x_avg =
-            vbar_x[1..=k].iter().flat_map(|row| &row[1..=k]).sum::<f64>() / (kf * kf);
+        let vbar_x_avg = vbar_x[1..=k]
+            .iter()
+            .flat_map(|row| &row[1..=k])
+            .sum::<f64>()
+            / (kf * kf);
 
         // --- Eqs. (11)-(15): regular-message latency, probability mix with
         // the source wait counted once per case.
@@ -861,7 +850,12 @@ mod tests {
 
     #[test]
     fn vanishing_load_matches_zero_load_closed_form() {
-        for (k, lm, h) in [(8u32, 32u32, 0.2f64), (16, 32, 0.4), (16, 100, 0.7), (4, 16, 0.0)] {
+        for (k, lm, h) in [
+            (8u32, 32u32, 0.2f64),
+            (16, 32, 0.4),
+            (16, 100, 0.7),
+            (4, 16, 0.0),
+        ] {
             let model =
                 HotSpotModel::new(ModelConfig::paper_validation(k, 2, lm, 1e-9, h)).unwrap();
             let out = model.solve().unwrap();
@@ -976,6 +970,9 @@ mod tests {
     fn longer_messages_cost_proportionally_at_zero_load() {
         let short = solve(16, 2, 32, 1e-9, 0.2).unwrap().latency;
         let long = solve(16, 2, 100, 1e-9, 0.2).unwrap().latency;
-        assert!((long - short - 68.0).abs() < 0.5, "short {short} long {long}");
+        assert!(
+            (long - short - 68.0).abs() < 0.5,
+            "short {short} long {long}"
+        );
     }
 }

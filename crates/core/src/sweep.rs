@@ -1,10 +1,15 @@
 //! Load sweeps and saturation search.
 //!
 //! The figures of the paper are latency-vs-λ curves.  This module sweeps
-//! the model across a λ grid (in parallel — each point is independent) and
-//! finds the saturation rate `λ*` by bisection on model solvability.
+//! the model across a λ grid and finds the saturation rate `λ*` by
+//! bisection on model solvability.  Sweep points are independent, so the
+//! sweep runs as a rayon parallel map: a bounded worker pool of at most
+//! `available_parallelism()` threads, not one OS thread per λ point —
+//! this is the hot path of every figure binary, where grids can reach
+//! hundreds of points.
 
 use crate::solver::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
+use rayon::prelude::*;
 
 /// One point of a latency curve.
 #[derive(Clone, Debug)]
@@ -15,43 +20,96 @@ pub struct CurvePoint {
     pub result: Result<ModelOutput, ModelError>,
 }
 
-/// Evaluate the model at each `lambda`, in parallel.
+/// Evaluate the model at each `lambda`, in parallel on the pooled worker
+/// threads.  Points come back in input order.
 pub fn latency_curve(base: ModelConfig, lambdas: &[f64]) -> Vec<CurvePoint> {
-    let mut results: Vec<Option<CurvePoint>> = (0..lambdas.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, &lambda) in results.iter_mut().zip(lambdas) {
-            scope.spawn(move |_| {
-                let result = HotSpotModel::new(ModelConfig { lambda, ..base })
-                    .and_then(|m| m.solve());
-                *slot = Some(CurvePoint { lambda, result });
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results.into_iter().map(|p| p.expect("slot filled")).collect()
+    lambdas
+        .par_iter()
+        .map(|&lambda| {
+            let result = HotSpotModel::new(ModelConfig { lambda, ..base }).and_then(|m| m.solve());
+            CurvePoint { lambda, result }
+        })
+        .collect()
 }
+
+/// Why [`find_saturation`] could not produce a saturation rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SaturationError {
+    /// The requested bracket is malformed: `lo`/`hi`/`rel_tol` must be
+    /// finite with `0 <= lo < hi` and `rel_tol > 0`.
+    InvalidBracket {
+        /// The lower edge as requested.
+        lo: f64,
+        /// The upper edge as requested.
+        hi: f64,
+        /// The requested relative tolerance.
+        rel_tol: f64,
+    },
+    /// Geometric widening of `hi` never reached a saturated rate — the
+    /// model stayed solvable up to `last_hi` (the last finite rate
+    /// probed), so there is no `λ*` inside any reasonable bracket.
+    BracketNotFound {
+        /// The largest rate probed before giving up.
+        last_hi: f64,
+    },
+}
+
+impl std::fmt::Display for SaturationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaturationError::InvalidBracket { lo, hi, rel_tol } => write!(
+                f,
+                "invalid saturation bracket: lo={lo}, hi={hi}, rel_tol={rel_tol} \
+                 (need finite 0 <= lo < hi and rel_tol > 0)"
+            ),
+            SaturationError::BracketNotFound { last_hi } => write!(
+                f,
+                "saturation bracket not found: model still solvable at λ={last_hi:e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SaturationError {}
 
 /// Find the saturation rate `λ*` of `base` by bisection: the largest rate
 /// at which the model still has a solution, bracketed to a relative width
 /// of `rel_tol`.
 ///
-/// `hi` must be saturated and `lo` solvable (or zero); the function widens
-/// `hi` geometrically if it is not saturated yet.
-pub fn find_saturation(base: ModelConfig, mut lo: f64, mut hi: f64, rel_tol: f64) -> f64 {
-    assert!(lo >= 0.0 && hi > lo && rel_tol > 0.0);
+/// `hi` should be saturated and `lo` solvable (or zero); the function
+/// widens `hi` geometrically if it is not saturated yet.  If the widening
+/// runs away — the model stays solvable until `hi` stops being a useful
+/// rate — the search reports [`SaturationError::BracketNotFound`] instead
+/// of panicking.
+pub fn find_saturation(
+    base: ModelConfig,
+    mut lo: f64,
+    mut hi: f64,
+    rel_tol: f64,
+) -> Result<f64, SaturationError> {
+    if !(lo.is_finite() && hi.is_finite() && rel_tol.is_finite())
+        || lo < 0.0
+        || hi <= lo
+        || rel_tol <= 0.0
+    {
+        return Err(SaturationError::InvalidBracket { lo, hi, rel_tol });
+    }
     let solvable = |lambda: f64| {
         HotSpotModel::new(ModelConfig { lambda, ..base })
             .map(|m| m.solve().is_ok())
             .unwrap_or(false)
     };
     // Widen until hi is saturated (bounded: utilization grows linearly in
-    // λ, so a few doublings always suffice).
+    // λ, so a few doublings always suffice for a solvable model; a model
+    // that never saturates exhausts the guard instead).
     let mut guard = 0;
     while solvable(hi) {
         lo = hi;
         hi *= 2.0;
         guard += 1;
-        assert!(guard < 64, "failed to bracket saturation");
+        if guard >= 64 || !hi.is_finite() {
+            return Err(SaturationError::BracketNotFound { last_hi: lo });
+        }
     }
     while (hi - lo) / hi > rel_tol {
         let mid = 0.5 * (lo + hi);
@@ -61,7 +119,7 @@ pub fn find_saturation(base: ModelConfig, mut lo: f64, mut hi: f64, rel_tol: f64
             hi = mid;
         }
     }
-    0.5 * (lo + hi)
+    Ok(0.5 * (lo + hi))
 }
 
 #[cfg(test)]
@@ -97,6 +155,21 @@ mod tests {
     }
 
     #[test]
+    fn wide_curve_handles_hundreds_of_points() {
+        // The pooled sweep must digest a grid far wider than the CPU
+        // count (the old code spawned one OS thread per point).
+        let base = ModelConfig::paper_validation(16, 2, 32, 0.0, 0.2);
+        let lambdas: Vec<f64> = (1..=400).map(|i| i as f64 * 2e-6).collect();
+        let curve = latency_curve(base, &lambdas);
+        assert_eq!(curve.len(), 400);
+        for (p, &l) in curve.iter().zip(&lambdas) {
+            assert_eq!(p.lambda, l);
+        }
+        assert!(curve.first().unwrap().result.is_ok());
+        assert!(curve.last().unwrap().result.is_err());
+    }
+
+    #[test]
     fn saturation_orders_by_hot_fraction_and_length() {
         let sat = |lm: u32, h: f64| {
             find_saturation(
@@ -105,6 +178,7 @@ mod tests {
                 1e-3,
                 1e-3,
             )
+            .expect("paper configs saturate inside the bracket")
         };
         let s20 = sat(32, 0.2);
         let s40 = sat(32, 0.4);
@@ -117,5 +191,22 @@ mod tests {
         // h=20% plots to 6e-4, h=70% to 2e-4.
         assert!(s20 > 2e-4 && s20 < 9e-4, "λ*={s20}");
         assert!(s70 > 5e-5 && s70 < 3e-4, "λ*={s70}");
+    }
+
+    #[test]
+    fn malformed_brackets_are_errors_not_panics() {
+        let base = ModelConfig::paper_validation(16, 2, 32, 0.0, 0.2);
+        for (lo, hi, tol) in [
+            (1e-3, 1e-6, 1e-3),         // inverted
+            (-1.0, 1e-3, 1e-3),         // negative lo
+            (0.0, 1e-3, 0.0),           // zero tolerance
+            (0.0, f64::INFINITY, 1e-3), // non-finite hi
+            (0.0, f64::NAN, 1e-3),      // NaN hi
+        ] {
+            match find_saturation(base, lo, hi, tol) {
+                Err(SaturationError::InvalidBracket { .. }) => {}
+                other => panic!("expected InvalidBracket for ({lo}, {hi}, {tol}), got {other:?}"),
+            }
+        }
     }
 }

@@ -172,8 +172,7 @@ impl UniformModel {
         // splitting 1/k x-only vs (k-1)/k continuing into y.
         let p_x = kf / (kf + 1.0);
         let p_y = 1.0 / (kf + 1.0);
-        let network_latency =
-            p_x * (s_x_k / kf + (1.0 - 1.0 / kf) * s_xy_k) + p_y * s_y_k;
+        let network_latency = p_x * (s_x_k / kf + (1.0 - 1.0 / kf) * s_xy_k) + p_y * s_y_k;
 
         let vc_rate = self.lambda / self.virtual_channels as f64;
         let source_wait = mg1::waiting_time(vc_rate, network_latency, lm).map_err(|sat| {
@@ -210,8 +209,8 @@ mod tests {
         let kf = 16.0;
         let one = kf / 2.0 + 32.0;
         let two = kf + 32.0;
-        let expected = (kf / (kf + 1.0)) * (one / kf + (1.0 - 1.0 / kf) * two)
-            + (1.0 / (kf + 1.0)) * one;
+        let expected =
+            (kf / (kf + 1.0)) * (one / kf + (1.0 - 1.0 / kf) * two) + (1.0 / (kf + 1.0)) * one;
         assert!(
             (out.latency - expected).abs() < 0.1,
             "latency {} vs {}",

@@ -7,11 +7,11 @@ use proptest::prelude::*;
 /// the hot-channel flit bound.
 fn sub_saturation_config() -> impl Strategy<Value = ModelConfig> {
     (
-        4u32..=16,          // k
-        2u32..=4,           // V
-        8u32..=64,          // Lm
-        0.0f64..=0.8,       // h
-        0.05f64..=0.5,      // fraction of the flit bound
+        4u32..=16,     // k
+        2u32..=4,      // V
+        8u32..=64,     // Lm
+        0.0f64..=0.8,  // h
+        0.05f64..=0.5, // fraction of the flit bound
     )
         .prop_map(|(k, v, lm, h, frac)| {
             let hot_bound = 1.0 / (h.max(0.01) * (k * (k - 1)) as f64 * (lm + 1) as f64);

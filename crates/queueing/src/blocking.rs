@@ -102,8 +102,8 @@ mod tests {
     fn single_class_reduces_to_pb_times_mg1() {
         let reg = TrafficClass::new(0.003, 48.0);
         let d = blocking_delay(reg, TrafficClass::none(), 32.0, CAP);
-        let expected = (reg.rate * reg.service)
-            * mg1::waiting_time(reg.rate, reg.service, 32.0).unwrap();
+        let expected =
+            (reg.rate * reg.service) * mg1::waiting_time(reg.rate, reg.service, 32.0).unwrap();
         assert!((d - expected).abs() < 1e-12);
     }
 

@@ -48,7 +48,10 @@ impl std::fmt::Display for FixedPointError {
         match self {
             FixedPointError::NonFinite => write!(f, "fixed point diverged to non-finite values"),
             FixedPointError::NotConverged => {
-                write!(f, "fixed point failed to converge within the iteration budget")
+                write!(
+                    f,
+                    "fixed point failed to converge within the iteration budget"
+                )
             }
         }
     }

@@ -61,11 +61,7 @@ pub fn multiplexing_factor(rho: f64, v_channels: u32) -> f64 {
         .enumerate()
         .map(|(v, &pv)| (v * v) as f64 * pv)
         .sum();
-    let den: f64 = p
-        .iter()
-        .enumerate()
-        .map(|(v, &pv)| v as f64 * pv)
-        .sum();
+    let den: f64 = p.iter().enumerate().map(|(v, &pv)| v as f64 * pv).sum();
     if den == 0.0 {
         1.0
     } else {

@@ -1,6 +1,8 @@
 //! Property-based tests for the queueing primitives.
 
-use kncube_queueing::blocking::{blocking_delay, channel_utilization, weighted_service, TrafficClass};
+use kncube_queueing::blocking::{
+    blocking_delay, channel_utilization, weighted_service, TrafficClass,
+};
 use kncube_queueing::mg1;
 use kncube_queueing::vc_multiplex::{multiplexing_factor, occupancy_distribution};
 use proptest::prelude::*;

@@ -99,10 +99,7 @@ impl SimConfig {
             message_length: lm,
             arrivals: ArrivalProcess::Poisson(lambda),
             pattern: if h > 0.0 {
-                TrafficPattern::HotSpot {
-                    h,
-                    hot: NodeId(0),
-                }
+                TrafficPattern::HotSpot { h, hot: NodeId(0) }
             } else {
                 TrafficPattern::Uniform
             },
@@ -200,6 +197,9 @@ mod tests {
     #[test]
     fn with_limits_overrides() {
         let c = SimConfig::paper_validation(8, 2, 32, 1e-4, 0.2, 1).with_limits(9, 3, 7);
-        assert_eq!((c.max_cycles, c.warmup_cycles, c.target_messages), (9, 3, 7));
+        assert_eq!(
+            (c.max_cycles, c.warmup_cycles, c.target_messages),
+            (9, 3, 7)
+        );
     }
 }

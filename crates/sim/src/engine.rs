@@ -350,9 +350,9 @@ impl Simulator {
                     self.class_range(class)
                 };
                 while !self.ports[port_idx as usize].waiting[class].is_empty() {
-                    let Some(vc_idx) = (lo..hi).find(|&v| {
-                        self.ports[port_idx as usize].vcs[v as usize].msg.is_none()
-                    }) else {
+                    let Some(vc_idx) = (lo..hi)
+                        .find(|&v| self.ports[port_idx as usize].vcs[v as usize].msg.is_none())
+                    else {
                         break;
                     };
                     let id = self.ports[port_idx as usize].waiting[class]
@@ -894,8 +894,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SimConfig::paper_validation(8, 2, 16, 5e-3, 0.3, 1234)
-            .with_limits(30_000, 2_000, 0);
+        let cfg =
+            SimConfig::paper_validation(8, 2, 16, 5e-3, 0.3, 1234).with_limits(30_000, 2_000, 0);
         let a = Simulator::new(cfg).unwrap().run();
         let b = Simulator::new(cfg).unwrap().run();
         assert_eq!(a.completed, b.completed);
@@ -905,8 +905,8 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let base = SimConfig::paper_validation(8, 2, 16, 5e-3, 0.3, 1)
-            .with_limits(30_000, 2_000, 0);
+        let base =
+            SimConfig::paper_validation(8, 2, 16, 5e-3, 0.3, 1).with_limits(30_000, 2_000, 0);
         let a = Simulator::new(base).unwrap().run();
         let b = Simulator::new(SimConfig { seed: 2, ..base }).unwrap().run();
         assert_ne!(a.mean_latency, b.mean_latency);

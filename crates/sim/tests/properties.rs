@@ -19,8 +19,7 @@ fn small_config() -> impl Strategy<Value = SimConfig> {
             let hot_bound = 1.0 / (h.max(0.02) * (k * (k - 1)) as f64 * (lm + 1) as f64);
             let uni_bound = 1.0 / ((k as f64 - 1.0) / 2.0 * (lm + 1) as f64);
             let lambda = frac * hot_bound.min(uni_bound);
-            SimConfig::paper_validation(k, v, lm, lambda, h, seed)
-                .with_limits(40_000, 2_000, 1_500)
+            SimConfig::paper_validation(k, v, lm, lambda, h, seed).with_limits(40_000, 2_000, 1_500)
         })
 }
 

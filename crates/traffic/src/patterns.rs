@@ -220,8 +220,7 @@ mod tests {
         let trials = 50_000;
         let mut hot_count = 0;
         for _ in 0..trials {
-            let (d, class) =
-                TrafficPattern::HotSpot { h, hot }.pick_destination(&t, src, &mut rng);
+            let (d, class) = TrafficPattern::HotSpot { h, hot }.pick_destination(&t, src, &mut rng);
             if class == MessageClass::HotSpot {
                 assert_eq!(d, hot);
                 hot_count += 1;

@@ -29,9 +29,8 @@ pub fn node_rng(master_seed: u64, node: NodeId) -> SmallRng {
 /// An auxiliary RNG stream for `node` (e.g. one stream for arrivals and one
 /// for destinations), decorrelated from [`node_rng`] by a stream index.
 pub fn node_stream_rng(master_seed: u64, node: NodeId, stream: u64) -> SmallRng {
-    let mixed = splitmix64(
-        master_seed ^ splitmix64(node.0 as u64 + 1) ^ splitmix64(0xABCD_EF01 + stream),
-    );
+    let mixed =
+        splitmix64(master_seed ^ splitmix64(node.0 as u64 + 1) ^ splitmix64(0xABCD_EF01 + stream));
     SmallRng::seed_from_u64(mixed)
 }
 
@@ -53,7 +52,9 @@ mod tests {
     fn different_nodes_diverge() {
         let mut a = node_rng(42, NodeId(7));
         let mut b = node_rng(42, NodeId(8));
-        let same = (0..100).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..100)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -61,7 +62,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = node_rng(1, NodeId(0));
         let mut b = node_rng(2, NodeId(0));
-        let same = (0..100).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..100)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -69,7 +72,9 @@ mod tests {
     fn streams_diverge() {
         let mut a = node_stream_rng(9, NodeId(3), 0);
         let mut b = node_stream_rng(9, NodeId(3), 1);
-        let same = (0..100).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..100)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 }

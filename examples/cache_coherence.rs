@@ -34,11 +34,9 @@ fn main() {
     );
 
     for h in [0.0, 0.1, 0.25, 0.5] {
-        let model = HotSpotModel::new(ModelConfig::paper_validation(
-            k, v, ack_flits, lambda, h,
-        ))
-        .unwrap()
-        .solve();
+        let model = HotSpotModel::new(ModelConfig::paper_validation(k, v, ack_flits, lambda, h))
+            .unwrap()
+            .solve();
         let sim = Simulator::new(
             SimConfig::paper_validation(k, v, ack_flits, lambda, h, 99)
                 .with_limits(600_000, 50_000, 25_000),
@@ -51,7 +49,11 @@ fn main() {
                 m.regular_latency,
                 if h > 0.0 { m.hot_latency } else { f64::NAN },
                 sim.mean_latency_regular,
-                if h > 0.0 { sim.mean_latency_hot } else { f64::NAN },
+                if h > 0.0 {
+                    sim.mean_latency_hot
+                } else {
+                    f64::NAN
+                },
             ),
             Err(e) => println!("{h:>6.2} saturated ({e}); sim says {:.1}", sim.mean_latency),
         }

@@ -30,7 +30,8 @@ fn main() {
 
     for h in [0.05, 0.1, 0.2, 0.4, 0.7] {
         let base = ModelConfig::paper_validation(k, v, lm, 0.0, h);
-        let sat = find_saturation(base, 1e-7, 1e-2, 1e-3);
+        let sat = find_saturation(base, 1e-7, 1e-2, 1e-3)
+            .expect("barrier hot-spot configurations saturate inside the bracket");
         let lambda = 0.5 * sat;
         let model = HotSpotModel::new(ModelConfig { lambda, ..base })
             .unwrap()

@@ -21,7 +21,10 @@ fn main() {
     println!("mean message latency : {:8.1} cycles", out.latency);
     println!("  regular messages   : {:8.1} cycles", out.regular_latency);
     println!("  hot-spot messages  : {:8.1} cycles", out.hot_latency);
-    println!("  source-queue wait  : {:8.2} cycles", out.source_wait_regular);
+    println!(
+        "  source-queue wait  : {:8.2} cycles",
+        out.source_wait_regular
+    );
     println!(
         "  multiplexing degree: hot ring {:.3}, x channels {:.3}",
         out.vbar_hot_ring, out.vbar_x
@@ -37,8 +40,14 @@ fn main() {
     if let Some(hw) = report.ci_half_width {
         println!("  95% half-width     : {:8.1} cycles", hw);
     }
-    println!("  regular messages   : {:8.1} cycles", report.mean_latency_regular);
-    println!("  hot-spot messages  : {:8.1} cycles", report.mean_latency_hot);
+    println!(
+        "  regular messages   : {:8.1} cycles",
+        report.mean_latency_regular
+    );
+    println!(
+        "  hot-spot messages  : {:8.1} cycles",
+        report.mean_latency_hot
+    );
     println!("  messages measured  : {:8}", report.completed);
     println!("  cycles simulated   : {:8}", report.cycles);
 

@@ -29,7 +29,8 @@ fn main() {
         print!("{h:>6.2}");
         for lm in lengths {
             let base = ModelConfig::paper_validation(k, v, lm, 0.0, h);
-            let sat = find_saturation(base, 1e-8, 1e-2, 1e-3);
+            let sat = find_saturation(base, 1e-8, 1e-2, 1e-3)
+                .expect("swept configurations saturate inside the bracket");
             print!(" {sat:>11.3e}");
         }
         println!();

@@ -80,6 +80,7 @@ fn virtual_channels_only_help_capacity() {
             1e-2,
             1e-3,
         )
+        .expect("paper configurations saturate inside the bracket")
     };
     let s2 = sat(2);
     let s4 = sat(4);

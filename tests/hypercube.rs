@@ -57,7 +57,10 @@ fn simulator_saturates_near_the_models_bound() {
     let below = simulate(n, lm, 0.7 * bound, h);
     assert!(!below.saturated);
     let deficit = (below.offered_load - below.throughput) / below.offered_load;
-    assert!(deficit < 0.03, "throughput deficit {deficit:.3} below bound");
+    assert!(
+        deficit < 0.03,
+        "throughput deficit {deficit:.3} below bound"
+    );
     // Above: cannot keep up.
     let above = {
         let mut cfg = SimConfig::paper_validation(2, 2, lm, 1.5 * bound, h, 8_128);
@@ -83,9 +86,9 @@ fn hypercube_latency_beats_torus_at_equal_n_under_hot_load() {
         .unwrap()
         .solve()
         .unwrap();
-    let torus = kncube::model::HotSpotModel::new(
-        kncube::model::ModelConfig::paper_validation(8, 2, lm, lambda, h),
-    )
+    let torus = kncube::model::HotSpotModel::new(kncube::model::ModelConfig::paper_validation(
+        8, 2, lm, lambda, h,
+    ))
     .unwrap()
     .solve()
     .unwrap();

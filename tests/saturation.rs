@@ -13,9 +13,15 @@ fn flit_bound(k: u32, lm: u32, h: f64) -> f64 {
 
 #[test]
 fn model_saturation_tracks_flit_bound() {
-    for (k, lm, h) in [(8u32, 16u32, 0.3f64), (8, 32, 0.5), (16, 32, 0.2), (16, 100, 0.7)] {
+    for (k, lm, h) in [
+        (8u32, 16u32, 0.3f64),
+        (8, 32, 0.5),
+        (16, 32, 0.2),
+        (16, 100, 0.7),
+    ] {
         let base = ModelConfig::paper_validation(k, 2, lm, 0.0, h);
-        let sat = find_saturation(base, 1e-8, 1e-1, 1e-3);
+        let sat = find_saturation(base, 1e-8, 1e-1, 1e-3)
+            .expect("paper configurations saturate inside the bracket");
         let bound = flit_bound(k, lm, h);
         assert!(
             sat < bound,
@@ -37,6 +43,7 @@ fn saturation_rate_decreases_with_h_and_lm() {
             1e-1,
             1e-3,
         )
+        .expect("paper configurations saturate inside the bracket")
     };
     assert!(sat(16, 0.1) > sat(16, 0.3));
     assert!(sat(16, 0.3) > sat(16, 0.7));
@@ -57,8 +64,8 @@ fn simulator_survives_below_and_collapses_above() {
     .run();
     assert!(!healthy.saturated, "unexpected saturation below the bound");
     // 160% of the bound: must blow up.
-    let mut cfg = SimConfig::paper_validation(k, 2, lm, 1.6 * bound, h, 5)
-        .with_limits(400_000, 30_000, 0);
+    let mut cfg =
+        SimConfig::paper_validation(k, 2, lm, 1.6 * bound, h, 5).with_limits(400_000, 30_000, 0);
     cfg.max_source_queue = 300;
     let choked = Simulator::new(cfg).unwrap().run();
     assert!(choked.saturated, "expected saturation above the bound");
@@ -69,8 +76,7 @@ fn throughput_below_saturation_matches_offered_load() {
     let (k, lm, h) = (8, 16, 0.3);
     let lambda = 0.5 * flit_bound(k, lm, h);
     let report = Simulator::new(
-        SimConfig::paper_validation(k, 2, lm, lambda, h, 17)
-            .with_limits(900_000, 50_000, 0),
+        SimConfig::paper_validation(k, 2, lm, lambda, h, 17).with_limits(900_000, 50_000, 0),
     )
     .unwrap()
     .run();

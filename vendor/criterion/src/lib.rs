@@ -1,0 +1,239 @@
+//! Offline, API-compatible subset of
+//! [`criterion`](https://crates.io/crates/criterion), vendored so the
+//! workspace's benches compile and run without registry access.
+//!
+//! It keeps criterion's bench-authoring surface (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `iter`/`iter_custom`,
+//! `Throughput`) but replaces the statistical machinery with a simple
+//! calibrated timing loop that prints one median-of-samples line per
+//! benchmark.  Good enough to spot order-of-magnitude regressions and to
+//! keep `cargo bench --no-run` compiling in CI; swap the workspace
+//! manifest back to crates.io for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How long the calibrated measurement of one benchmark aims to run.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+
+/// Samples per benchmark (medianed); kept small — this shim favours
+/// fast smoke runs over tight confidence intervals.
+const SAMPLES: usize = 5;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Group-level throughput annotation: per-iteration work amount.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as elem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// A named benchmark id, optionally parameterised (`name/param`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Report a throughput rate alongside the time per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Run one benchmark closure against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+        let mut iters_used = 0u64;
+        for _ in 0..SAMPLES {
+            let mut bencher = Bencher {
+                iters: iters_used.max(1),
+                measured: None,
+            };
+            f(&mut bencher);
+            let (iters, elapsed) = bencher
+                .measured
+                .expect("benchmark closure never called iter()/iter_custom()");
+            samples.push(elapsed.as_secs_f64() / iters as f64);
+            // Calibrate the next sample towards the target duration.
+            let per_iter = (elapsed.as_secs_f64() / iters as f64).max(1e-9);
+            iters_used = ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 24);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3e} elem/s)", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MiB/s)", n as f64 / median / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<28} {:>12}/iter{rate}",
+            self.name,
+            format_time(median)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Times the actual benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.measured = Some((self.iters, start.elapsed()));
+    }
+
+    /// Let the closure time `iters` iterations itself and report the
+    /// total elapsed time (criterion's escape hatch for setup-heavy
+    /// bodies).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let elapsed = f(self.iters);
+        self.measured = Some((self.iters, elapsed));
+    }
+}
+
+/// Collect benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running every group (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards flags like `--bench`; the shim has no
+            // filtering or baselines, so they are deliberately ignored.
+            let _ = ::std::env::args();
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(10);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_custom_reports_what_the_closure_measured() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &_n| {
+            b.iter_custom(|iters| Duration::from_nanos(10 * iters))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline, API-compatible subset of [`rayon`](https://crates.io/crates/rayon),
+//! vendored so the workspace builds without registry access.
+//!
+//! It provides exactly what the sweep hot path needs — `slice.par_iter()
+//! .map(f).collect()` — executed on a **bounded pool** of at most
+//! `available_parallelism()` scoped worker threads that pull indices from a
+//! shared atomic counter.  Wide sweeps (hundreds of λ points) therefore
+//! cost `min(#cpus, #items)` OS threads per call, never one thread per
+//! item.  Results are returned in input order.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace
+//! manifest; call sites (`use rayon::prelude::*`) are unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Conversion of `&self` into a parallel iterator (subset: slices, and —
+/// via auto-deref — `Vec`s and arrays).
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type iterated over.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a borrowed slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map every element through `map`, in parallel.
+    pub fn map<R, F>(self, map: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            map,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a lazily-executed parallel map.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    map: F,
+}
+
+impl<'data, T, F, R> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    /// Execute the map on the worker pool and collect the results in
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_pooled(self.items, &self.map).into_iter().collect()
+    }
+}
+
+/// Chunk-free pooled execution: `min(#cpus, len)` scoped workers race on an
+/// atomic index counter, so uneven per-item cost (cheap unsaturated points
+/// next to slow fixed-point solves) still load-balances.
+fn run_pooled<'data, T, R, F>(items: &'data [T], map: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    let len = items.len();
+    if len <= 1 {
+        return items.iter().map(map).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(len);
+    let next = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    local.push((i, map(&items[i])));
+                }
+                gathered
+                    .lock()
+                    .expect("rayon shim: a sibling worker panicked")
+                    .extend(local);
+            });
+        }
+    });
+    let mut pairs = gathered.into_inner().expect("worker panicked");
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), len);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(out.len(), 500);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn works_on_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn pool_is_bounded_not_per_item() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        let ids: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..4096).collect();
+        let _: Vec<u32> = input
+            .par_iter()
+            .map(|&x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                x
+            })
+            .collect();
+        let max = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let used = ids.lock().unwrap().len();
+        assert!(used <= max, "{used} worker threads for a {max}-wide pool");
+    }
+}
