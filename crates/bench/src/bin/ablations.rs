@@ -28,8 +28,12 @@ fn model_latency(cfg: ModelConfig) -> String {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let fig = FigureConfig::paper(32, 0.4);
-    let sat = kncube_core::find_saturation(fig.model_config(0.0), 1e-8, 1e-2, 1e-3)
-        .expect("paper configurations saturate inside the bracket");
+    let sat = kncube_bench::or_exit(kncube_core::find_saturation(
+        fig.model_config(0.0),
+        1e-8,
+        1e-2,
+        1e-3,
+    ));
     let grid: Vec<f64> = [0.3, 0.6, 0.85].iter().map(|f| f * sat).collect();
 
     // The Eq. 25 reading only matters when competitor services depend on

@@ -26,8 +26,12 @@ use kncube_traffic::ArrivalProcess;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let fig = FigureConfig::paper(32, 0.2);
-    let sat = kncube_core::find_saturation(fig.model_config(0.0), 1e-8, 1e-2, 1e-3)
-        .expect("paper configurations saturate inside the bracket");
+    let sat = kncube_bench::or_exit(kncube_core::find_saturation(
+        fig.model_config(0.0),
+        1e-8,
+        1e-2,
+        1e-3,
+    ));
     let betas = [1.0, 2.0, 4.0, 8.0];
     let fractions = if quick {
         vec![0.3, 0.6]

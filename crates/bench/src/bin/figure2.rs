@@ -7,7 +7,7 @@
 //! cargo run --release -p kncube-bench --bin figure2 [-- --quick]
 //! ```
 
-use kncube_bench::{check_figure_shape, print_figure, run_figure, FigureConfig};
+use kncube_bench::{check_figure_shape, or_exit, print_figure, run_figure, FigureConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -17,7 +17,7 @@ fn main() {
         if quick {
             cfg = cfg.quick();
         }
-        let rows = run_figure(&cfg);
+        let rows = or_exit(run_figure(&cfg));
         print_figure(
             &format!("Figure 2, h = {:.0}% (Lm = 100 flits)", h * 100.0),
             &cfg,

@@ -64,13 +64,12 @@ fn main() {
     let hyper256 = HypercubeModel::new(8, 2, 32, 0.0, 0.2)
         .unwrap()
         .saturation_bound();
-    let torus256 = find_saturation(
+    let torus256 = kncube_bench::or_exit(find_saturation(
         ModelConfig::paper_validation(16, 2, 32, 0.0, 0.2),
         1e-8,
         1e-2,
         1e-3,
-    )
-    .expect("torus saturates inside the bracket");
+    ));
     println!(
         "\nat N = 256, Lm = 32, h = 20%:\n\
          hypercube λ* ≈ {hyper256:.3e}   (worst channel drains N/2 = 128 hot sources)\n\

@@ -47,8 +47,12 @@ fn main() {
                     } else {
                         (1_500_000, 100_000, 30_000)
                     };
-                    let sat = kncube_core::find_saturation(cfg.model_config(0.0), 1e-8, 1e-1, 1e-3)
-                        .expect("validation configurations saturate inside the bracket");
+                    let sat = kncube_bench::or_exit(kncube_core::find_saturation(
+                        cfg.model_config(0.0),
+                        1e-8,
+                        1e-1,
+                        1e-3,
+                    ));
                     let lambda = 0.4 * sat;
                     let model = HotSpotModel::new(cfg.model_config(lambda)).unwrap().solve();
                     let sim = Simulator::new(cfg.sim_config(lambda)).unwrap().run();

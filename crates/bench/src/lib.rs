@@ -9,9 +9,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kncube_core::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
+use kncube_core::{
+    HotSpotModel, ModelConfig, ModelError, ModelOutput, NCubeConfig, NCubeModel, NCubeOutput,
+    SaturationError,
+};
 use kncube_sim::{SimConfig, SimReport, Simulator};
 use rayon::prelude::*;
+
+/// Unwrap a saturation-search result in a figure binary: on failure,
+/// print a one-line human-readable message (not the `Debug` form) to
+/// stderr and exit non-zero.
+pub fn or_exit<T>(result: Result<T, SaturationError>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("error: saturation search failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// One experimental configuration (a subfigure of the paper).
 #[derive(Clone, Copy, Debug)]
@@ -69,15 +85,28 @@ impl FigureConfig {
             .with_limits(max_cycles, warmup, target)
     }
 
+    /// The same sweep as a generalized configuration with `n = 2` —
+    /// mirroring `ModelConfig::as_ncube` and `SimConfig::paper_validation`,
+    /// so the grid/print/shape machinery has a single implementation.
+    pub fn as_ncube(&self) -> NCubeFigureConfig {
+        NCubeFigureConfig {
+            k: self.k,
+            n: 2,
+            v: self.v,
+            lm: self.lm,
+            h: self.h,
+            points: self.points,
+            top_fraction: self.top_fraction,
+            seed: self.seed,
+            sim_limits: self.sim_limits,
+        }
+    }
+
     /// The λ grid: `points` evenly-spaced rates from `λ*/points` to
     /// `top_fraction · λ*`, where `λ*` is the model's saturation rate —
     /// the same sweep the paper's figures plot.
-    pub fn lambda_grid(&self) -> Vec<f64> {
-        let sat = kncube_core::find_saturation(self.model_config(0.0), 1e-8, 1e-2, 1e-3)
-            .expect("paper-style configurations saturate inside the bracket");
-        (1..=self.points)
-            .map(|i| sat * self.top_fraction * i as f64 / self.points as f64)
-            .collect()
+    pub fn lambda_grid(&self) -> Result<Vec<f64>, SaturationError> {
+        self.as_ncube().lambda_grid()
     }
 }
 
@@ -105,9 +134,9 @@ impl FigureRow {
 /// Regenerate one subfigure: run the model and the simulator over the λ
 /// grid.  Points run in parallel on the pooled rayon workers (the
 /// simulator dominates the cost; the model solve per point is cheap).
-pub fn run_figure(config: &FigureConfig) -> Vec<FigureRow> {
-    let lambdas = config.lambda_grid();
-    lambdas
+pub fn run_figure(config: &FigureConfig) -> Result<Vec<FigureRow>, SaturationError> {
+    let lambdas = config.lambda_grid()?;
+    Ok(lambdas
         .par_iter()
         .map(|&lambda| {
             let sim = Simulator::new(config.sim_config(lambda))
@@ -119,7 +148,7 @@ pub fn run_figure(config: &FigureConfig) -> Vec<FigureRow> {
                 sim,
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Print a figure as an aligned table (and CSV-ish rows for re-plotting).
@@ -133,16 +162,24 @@ pub fn print_figure(title: &str, config: &FigureConfig, rows: &[FigureRow]) {
         config.h * 100.0,
         config.seed
     );
+    print_rows(
+        rows.iter()
+            .map(|r| (r.lambda, r.model.as_ref().map(|m| m.latency), &r.sim)),
+    );
+}
+
+/// The shared table body behind [`print_figure`] and
+/// [`print_ncube_figure`].
+fn print_rows<'a>(rows: impl Iterator<Item = (f64, Result<f64, &'a ModelError>, &'a SimReport)>) {
     println!(
         "{:>12} {:>12} {:>12} {:>8} {:>8} {:>7}",
         "traffic", "model", "simulation", "ci95", "err%", "note"
     );
-    for row in rows {
-        let sim = &row.sim;
-        let (model_str, err_str) = match &row.model {
+    for (lambda, model, sim) in rows {
+        let (model_str, err_str) = match model {
             Ok(m) => (
-                format!("{:12.1}", m.latency),
-                format!("{:8.1}", row.relative_error().unwrap() * 100.0),
+                format!("{m:12.1}"),
+                format!("{:8.1}", (m - sim.mean_latency) / sim.mean_latency * 100.0),
             ),
             Err(ModelError::Saturated { .. }) | Err(ModelError::NotConverged) => {
                 ("   saturated".to_string(), "       -".to_string())
@@ -150,8 +187,7 @@ pub fn print_figure(title: &str, config: &FigureConfig, rows: &[FigureRow]) {
             Err(e) => (format!("{e}"), "       -".to_string()),
         };
         println!(
-            "{:>12.4e} {model_str} {:>12.1} {:>8.1} {err_str} {:>7}",
-            row.lambda,
+            "{lambda:>12.4e} {model_str} {:>12.1} {:>8.1} {err_str} {:>7}",
             sim.mean_latency,
             sim.ci_half_width.unwrap_or(f64::NAN),
             if sim.saturated { "SAT" } else { "" }
@@ -164,30 +200,41 @@ pub fn print_figure(title: &str, config: &FigureConfig, rows: &[FigureRow]) {
 ///
 /// Returns a list of violated claims (empty = all good).
 pub fn check_figure_shape(rows: &[FigureRow]) -> Vec<String> {
+    let points: Vec<(f64, Option<f64>, &SimReport)> = rows
+        .iter()
+        .map(|r| (r.lambda, r.model.as_ref().ok().map(|m| m.latency), &r.sim))
+        .collect();
+    shape_violations(&points)
+}
+
+/// The shared shape claims behind [`check_figure_shape`] and
+/// [`check_ncube_figure_shape`], over `(λ, model latency if solved, sim)`
+/// points in grid order.
+fn shape_violations(points: &[(f64, Option<f64>, &SimReport)]) -> Vec<String> {
     let mut violations = Vec::new();
     // Claim 1: at light load (first half of the grid, excluding points the
     // simulator itself flagged saturated) the model tracks simulation.
-    for row in rows.iter().take(rows.len() / 2) {
-        if row.sim.saturated {
+    for &(lambda, model, sim) in points.iter().take(points.len() / 2) {
+        if sim.saturated {
             continue;
         }
-        match row.relative_error() {
-            Some(err) if err.abs() > 0.25 => violations.push(format!(
-                "light-load error {:.0}% at λ={:.3e}",
-                err * 100.0,
-                row.lambda
-            )),
-            None => violations.push(format!(
-                "model saturated at light load λ={:.3e}",
-                row.lambda
-            )),
-            _ => {}
+        match model {
+            Some(m) => {
+                let err = (m - sim.mean_latency) / sim.mean_latency;
+                if err.abs() > 0.25 {
+                    violations.push(format!(
+                        "light-load error {:.0}% at λ={lambda:.3e}",
+                        err * 100.0
+                    ));
+                }
+            }
+            None => violations.push(format!("model saturated at light load λ={lambda:.3e}")),
         }
     }
     // Claim 2: simulated latency grows monotonically with load (within
     // noise) — it is a latency/throughput curve.
-    for pair in rows.windows(2) {
-        let (a, b) = (&pair[0].sim, &pair[1].sim);
+    for pair in points.windows(2) {
+        let (a, b) = (pair[0].2, pair[1].2);
         if a.saturated || b.saturated {
             continue;
         }
@@ -196,11 +243,161 @@ pub fn check_figure_shape(rows: &[FigureRow]) -> Vec<String> {
         if b.mean_latency + slack < a.mean_latency {
             violations.push(format!(
                 "simulated latency decreased: {:.1} → {:.1} between λ={:.3e} and {:.3e}",
-                a.mean_latency, b.mean_latency, pair[0].lambda, pair[1].lambda
+                a.mean_latency, b.mean_latency, pair[0].0, pair[1].0
             ));
         }
     }
     violations
+}
+
+// ---------------------------------------------------------------------
+// Generalized k-ary n-cube figures
+// ---------------------------------------------------------------------
+
+/// The `(k, n)` pairs the `ncube` experiment sweeps: three genuinely
+/// higher-dimensional cubes plus the paper's 256-node torus as the
+/// `n = 2` anchor.
+pub const NCUBE_SWEEP: [(u32, u32); 4] = [(4, 3), (8, 3), (4, 4), (16, 2)];
+
+/// One experimental configuration of the generalized model-vs-simulator
+/// sweep — [`FigureConfig`] with the dimension count as a parameter.
+#[derive(Clone, Copy, Debug)]
+pub struct NCubeFigureConfig {
+    /// Radix `k` (nodes per dimension).
+    pub k: u32,
+    /// Dimension count `n`.
+    pub n: u32,
+    /// Virtual channels per physical channel.
+    pub v: u32,
+    /// Message length in flits.
+    pub lm: u32,
+    /// Hot-spot fraction.
+    pub h: f64,
+    /// Number of λ points on the curve.
+    pub points: usize,
+    /// Highest λ as a fraction of the model's saturation rate.
+    pub top_fraction: f64,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Simulator limits: (max_cycles, warmup, target messages).
+    pub sim_limits: (u64, u64, u64),
+}
+
+impl NCubeFigureConfig {
+    /// A `(k, n)` sweep configuration with run lengths sized for cubes up
+    /// to a few hundred nodes.
+    pub fn new(k: u32, n: u32, lm: u32, h: f64) -> Self {
+        NCubeFigureConfig {
+            k,
+            n,
+            v: 2,
+            lm,
+            h,
+            points: 6,
+            top_fraction: 0.9,
+            seed: 20_050_408,
+            sim_limits: (1_500_000, 100_000, 20_000),
+        }
+    }
+
+    /// Quick variant for smoke tests (fewer points, shorter runs).
+    pub fn quick(mut self) -> Self {
+        self.points = 3;
+        self.top_fraction = 0.7;
+        self.sim_limits = (300_000, 30_000, 5_000);
+        self
+    }
+
+    /// The generalized model configuration at rate `lambda`.
+    pub fn model_config(&self, lambda: f64) -> NCubeConfig {
+        NCubeConfig::new(self.k, self.n, self.v, self.lm, lambda, self.h)
+    }
+
+    /// The simulator configuration at rate `lambda`.
+    pub fn sim_config(&self, lambda: f64) -> SimConfig {
+        let (max_cycles, warmup, target) = self.sim_limits;
+        SimConfig::ncube(self.k, self.n, self.v, self.lm, lambda, self.h, self.seed)
+            .with_limits(max_cycles, warmup, target)
+    }
+
+    /// The λ grid: `points` evenly-spaced rates up to
+    /// `top_fraction · λ*` of the generalized model's saturation rate.
+    pub fn lambda_grid(&self) -> Result<Vec<f64>, SaturationError> {
+        let sat = kncube_core::find_saturation_ncube(self.model_config(0.0), 1e-9, 1e-1, 1e-3)?;
+        Ok((1..=self.points)
+            .map(|i| sat * self.top_fraction * i as f64 / self.points as f64)
+            .collect())
+    }
+}
+
+/// One row of a generalized `(k, n)` figure.
+#[derive(Clone, Debug)]
+pub struct NCubeFigureRow {
+    /// Offered traffic (messages/node/cycle).
+    pub lambda: f64,
+    /// The generalized model's prediction.
+    pub model: Result<NCubeOutput, ModelError>,
+    /// The simulation measurement.
+    pub sim: SimReport,
+}
+
+impl NCubeFigureRow {
+    /// Relative model error vs. simulation, when the model solved.
+    pub fn relative_error(&self) -> Option<f64> {
+        self.model
+            .as_ref()
+            .ok()
+            .map(|m| (m.latency - self.sim.mean_latency) / self.sim.mean_latency)
+    }
+}
+
+/// Run the generalized model and the simulator over the λ grid of one
+/// `(k, n)` configuration, in parallel on the pooled rayon workers.
+pub fn run_ncube_figure(
+    config: &NCubeFigureConfig,
+) -> Result<Vec<NCubeFigureRow>, SaturationError> {
+    let lambdas = config.lambda_grid()?;
+    Ok(lambdas
+        .par_iter()
+        .map(|&lambda| {
+            let sim = Simulator::new(config.sim_config(lambda))
+                .expect("valid sim config")
+                .run();
+            NCubeFigureRow {
+                lambda,
+                model: NCubeModel::new(config.model_config(lambda)).and_then(|m| m.solve()),
+                sim,
+            }
+        })
+        .collect())
+}
+
+/// Print a generalized figure as an aligned table.
+pub fn print_ncube_figure(title: &str, config: &NCubeFigureConfig, rows: &[NCubeFigureRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "k={} n={} (N={}) V={} Lm={} h={:.0}% (seed {})",
+        config.k,
+        config.n,
+        (config.k as u64).pow(config.n),
+        config.v,
+        config.lm,
+        config.h * 100.0,
+        config.seed
+    );
+    print_rows(
+        rows.iter()
+            .map(|r| (r.lambda, r.model.as_ref().map(|m| m.latency), &r.sim)),
+    );
+}
+
+/// [`check_figure_shape`] for the generalized `(k, n)` sweeps.
+pub fn check_ncube_figure_shape(rows: &[NCubeFigureRow]) -> Vec<String> {
+    let points: Vec<(f64, Option<f64>, &SimReport)> = rows
+        .iter()
+        .map(|r| (r.lambda, r.model.as_ref().ok().map(|m| m.latency), &r.sim))
+        .collect();
+    shape_violations(&points)
 }
 
 #[cfg(test)]
@@ -210,7 +407,7 @@ mod tests {
     #[test]
     fn lambda_grid_is_increasing_and_below_saturation() {
         let cfg = FigureConfig::paper(32, 0.2);
-        let grid = cfg.lambda_grid();
+        let grid = cfg.lambda_grid().expect("paper config saturates");
         assert_eq!(grid.len(), cfg.points);
         for pair in grid.windows(2) {
             assert!(pair[0] < pair[1]);
@@ -231,9 +428,37 @@ mod tests {
     #[test]
     fn quick_figure_run_has_sane_shape() {
         let cfg = FigureConfig::paper(16, 0.3).quick();
-        let rows = run_figure(&cfg);
+        let rows = run_figure(&cfg).expect("paper config saturates");
         assert_eq!(rows.len(), cfg.points);
         let violations = check_figure_shape(&rows);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn ncube_grid_is_solvable_below_saturation() {
+        let cfg = NCubeFigureConfig::new(4, 3, 16, 0.3);
+        let grid = cfg.lambda_grid().expect("hot-spot cubes saturate");
+        assert_eq!(grid.len(), cfg.points);
+        for pair in grid.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        for &l in &grid {
+            assert!(
+                NCubeModel::new(cfg.model_config(l))
+                    .unwrap()
+                    .solve()
+                    .is_ok(),
+                "λ={l} unexpectedly saturated"
+            );
+        }
+    }
+
+    #[test]
+    fn quick_ncube_figure_run_has_sane_shape() {
+        let cfg = NCubeFigureConfig::new(4, 3, 8, 0.3).quick();
+        let rows = run_ncube_figure(&cfg).expect("hot-spot cubes saturate");
+        assert_eq!(rows.len(), cfg.points);
+        let violations = check_ncube_figure_shape(&rows);
         assert!(violations.is_empty(), "{violations:?}");
     }
 }

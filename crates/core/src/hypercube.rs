@@ -2,7 +2,11 @@
 //! prior work (reference \[12\]: Loucif & Ould-Khaoua, "Modelling latency
 //! in deterministic wormhole-routed hypercubes under hot-spot traffic",
 //! J. Supercomputing 27(3), 2004), rebuilt with the same methodology as
-//! the torus model so the two can be compared side by side.
+//! the torus model so the two can be compared side by side — and so the
+//! generalized k-ary n-cube solver ([`crate::ncube`]) can be
+//! cross-validated against an independently-derived closed form at
+//! `k = 2` (the facade's cross-validation suite holds them to within
+//! `1e-9` of each other).
 //!
 //! # Setting
 //!
@@ -31,14 +35,22 @@
 //! flit-bound, verified against the simulator in the tests.
 //!
 //! Regular (uniform) traffic loads every channel equally at
-//! `λ_r = λ (1-h) (N/2) / (N-1)` (a uniform destination differs in bit `i`
-//! with probability `(N/2)/(N-1)`; `N` channels per dimension).
+//! `λ_r = λ (1-h) / 2` — the torus model's Eq. (3) convention
+//! `λ_r = λ(1-h)·(k-1)/2` at `k = 2` (the paper averages the per-dimension
+//! hop count over all destinations *including* the source; the exact
+//! uniform-destination rate would carry an extra `N/(N-1)`).
+//!
+//! # Composition
 //!
 //! Blocking, source-queue waits and virtual-channel multiplexing reuse the
 //! torus model's operators (Eqs. 26–30, 33–35 of the paper) with the
-//! pipelined channel service time `Lm + 1`; because that service time is
-//! load-independent, the hypercube model evaluates in closed form — no
-//! fixed-point iteration is needed.
+//! pipelined channel service time `Lm + 1`, composed exactly as the
+//! generalized solver composes them: regular messages by *entry family*
+//! (first dimension moved × hot/non-hot entry ring, exact `N-1`
+//! denominators) and hot messages per source position (one per address
+//! mask), each scaled by the multiplexing degree of its entry channel.
+//! Because the `Lm + 1` service time is load-independent, everything
+//! evaluates in closed form — no fixed-point iteration is needed.
 
 use crate::solver::ModelError;
 use kncube_queueing::blocking::{blocking_delay, channel_utilization, TrafficClass};
@@ -80,7 +92,7 @@ pub struct HypercubeOutput {
     pub regular_latency: f64,
     /// Mean latency of hot-spot messages.
     pub hot_latency: f64,
-    /// Mean source-queue wait.
+    /// Mean source-queue wait (averaged over the `N` sources).
     pub source_wait: f64,
     /// Largest channel utilization (level `n-1` hot channel).
     pub max_utilization: f64,
@@ -126,11 +138,10 @@ impl HypercubeModel {
         (1u64 << self.n) as f64
     }
 
-    /// Regular traffic rate per channel,
-    /// `λ_r = λ (1-h) (N/2)/(N-1)`.
+    /// Regular traffic rate per channel, `λ_r = λ (1-h) / 2` — the torus
+    /// Eq. (3) convention `λ(1-h)·(k-1)/2` at `k = 2`.
     pub fn regular_channel_rate(&self) -> f64 {
-        let n_nodes = self.num_nodes();
-        self.lambda * (1.0 - self.hot_fraction) * (n_nodes / 2.0) / (n_nodes - 1.0)
+        self.lambda * (1.0 - self.hot_fraction) * 0.5
     }
 
     /// Hot-spot rate on a level-`i` hot channel, `γ_i = λ h 2^i`.
@@ -154,11 +165,12 @@ impl HypercubeModel {
     /// Evaluate the model.
     #[allow(clippy::needless_range_loop)] // i is the paper's level index
     pub fn solve(&self) -> Result<HypercubeOutput, ModelError> {
+        let n = self.n as usize;
         let lm = self.message_length as f64;
         let service = lm + 1.0; // pipelined channel service
         let lr = self.regular_channel_rate();
         let n_nodes = self.num_nodes();
-        let p_cross = (n_nodes / 2.0) / (n_nodes - 1.0);
+        let h = self.hot_fraction;
 
         // --- Saturation: the level-(n-1) channel into the hot node is the
         // binding resource.
@@ -176,7 +188,10 @@ impl HypercubeModel {
             });
         }
 
-        // --- Per-level blocking.
+        // --- Per-level blocking: B_i at a level-i hot channel, b_plain at
+        // a channel with no hot traffic.  A regular message crossing a
+        // dimension whose ring is hot meets the hot channel at one of the
+        // ring's two positions, uniformly: (B_i + b_plain)/2.
         let b_plain = blocking_delay(
             TrafficClass::new(lr, service),
             TrafficClass::none(),
@@ -193,54 +208,90 @@ impl HypercubeModel {
                 )
             })
             .collect();
+        let b_hot_avg: Vec<f64> = hot_blocking.iter().map(|&b| (b + b_plain) / 2.0).collect();
 
-        // --- Hot-spot network latency: a hot message crosses level i with
-        // probability p_cross, paying 1 + B_i there.
-        let s_h_net = lm
-            + (0..self.n as usize)
-                .map(|i| p_cross * (1.0 + hot_blocking[i]))
-                .sum::<f64>();
-
-        // --- Regular network latency: crossing dimension i, the channel
-        // is a level-i hot channel with probability 2^{-(i+1)} (lower bits
-        // must match the hot node's, bit i must differ).
-        let mut s_r_net = lm;
-        for i in 0..self.n {
-            let q = 0.5 / (1u64 << i) as f64;
-            let b = q * hot_blocking[i as usize] + (1.0 - q) * b_plain;
-            s_r_net += p_cross * (1.0 + b);
-        }
-
-        // --- Source-queue wait: M/G/1 at rate λ/V on the mean network
-        // latency of the node's traffic mix (network-averaged — the
-        // simplification relative to the torus model's per-source waits).
-        let s_mix = (1.0 - self.hot_fraction) * s_r_net + self.hot_fraction * s_h_net;
-        let source_wait = mg1::waiting_time(self.lambda / self.virtual_channels as f64, s_mix, lm)
-            .map_err(|sat| ModelError::Saturated {
-                max_utilization: sat.rho,
-            })?;
-
-        // --- Multiplexing degrees (Eqs. 33-35) per channel kind.
+        // --- Multiplexing degrees (Eqs. 33-35) per channel kind; the
+        // hot-ring family average pairs the level channel with the ring's
+        // hot-coordinate-outgoing channel, which carries no hot traffic.
         let v = self.virtual_channels;
         let vbar_plain = multiplexing_factor(lr * service, v);
         let vbar_level: Vec<f64> = (0..self.n)
             .map(|i| multiplexing_factor((lr + self.hot_channel_rate(i)) * service, v))
             .collect();
-        let vbar_hot = vbar_level.iter().sum::<f64>() / self.n as f64;
-        let vbar_reg = {
-            // Weight each level's multiplexing by how often a regular
-            // message meets a hot channel there.
-            let mut acc = 0.0;
-            for i in 0..self.n as usize {
-                let q = 0.5 / (1u64 << i) as f64;
-                acc += q * vbar_level[i] + (1.0 - q) * vbar_plain;
-            }
-            acc / self.n as f64
-        };
+        let vbar_hot_avg: Vec<f64> = vbar_level.iter().map(|&f| (f + vbar_plain) / 2.0).collect();
 
-        let regular_latency = (s_r_net + source_wait) * vbar_reg;
-        let hot_latency = (s_h_net + source_wait) * vbar_hot;
-        let latency = (1.0 - self.hot_fraction) * regular_latency + self.hot_fraction * hot_latency;
+        // --- Entry families (exact N-1 denominators): a regular message
+        // enters at dimension d0 with probability 2^{n-1-d0}/(N-1); the
+        // entry ring is hot iff the source matches the hot node below d0
+        // (probability 2^{-d0}).  Conditional on the entry, each later
+        // dimension is crossed with its 1/2 share folded into the expected
+        // hop count, in a hot ring with probability 2^{-(d-d0)} iff the
+        // entry ring was hot (bitwise independence of a uniform
+        // destination).
+        let p_entry = |d0: usize| (1u64 << (n - 1 - d0)) as f64 / (n_nodes - 1.0);
+        let family = |d0: usize, hot: bool| -> f64 {
+            let first = if hot { b_hot_avg[d0] } else { b_plain };
+            let mut s = lm + 1.0 + first;
+            for d in d0 + 1..n {
+                let p_hot_ring = if hot {
+                    0.5f64.powi((d - d0) as i32)
+                } else {
+                    0.0
+                };
+                s += 0.5
+                    * (p_hot_ring * (1.0 + b_hot_avg[d]) + (1.0 - p_hot_ring) * (1.0 + b_plain));
+            }
+            s
+        };
+        let mut s_r_network = 0.0;
+        for d0 in 0..n {
+            let hot_share = 0.5f64.powi(d0 as i32);
+            s_r_network += p_entry(d0)
+                * (hot_share * family(d0, true) + (1.0 - hot_share) * family(d0, false));
+        }
+
+        // --- Per-source composition: one source per address mask.  A hot
+        // message from mask `m` crosses the level-`i` hot channel for every
+        // set bit `i`, paying `1 + B_i`; its entry channel is the level of
+        // its lowest set bit.  Source-queue waits are M/G/1 at rate λ/V on
+        // each node's own traffic mix (Eq. 32 per source).
+        let vc_rate = self.lambda / v as f64;
+        let wait = |s: f64| -> Result<f64, ModelError> {
+            mg1::waiting_time(vc_rate, s, lm).map_err(|sat| ModelError::Saturated {
+                max_utilization: sat.rho,
+            })
+        };
+        let mut ws_sum = 0.0;
+        let mut s_h_sum = 0.0;
+        let masks = (1u64 << self.n) - 1;
+        for mask in 1..=masks {
+            let mut s_h_net = lm;
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                s_h_net += 1.0 + hot_blocking[i];
+                bits &= bits - 1;
+            }
+            let d0 = mask.trailing_zeros() as usize;
+            let w = wait((1.0 - h) * s_r_network + h * s_h_net)?;
+            ws_sum += w;
+            s_h_sum += (s_h_net + w) * vbar_level[d0];
+        }
+        let source_wait = (ws_sum + wait(s_r_network)?) / n_nodes;
+        let hot_latency = s_h_sum / (n_nodes - 1.0);
+
+        // --- Regular latency: the entry-family mix, each family scaled by
+        // its entry channel family's multiplexing degree and carrying the
+        // mean source wait once.
+        let mut regular_latency = 0.0;
+        for d0 in 0..n {
+            let hot_share = 0.5f64.powi(d0 as i32);
+            regular_latency += p_entry(d0)
+                * (hot_share * (family(d0, true) + source_wait) * vbar_hot_avg[d0]
+                    + (1.0 - hot_share) * (family(d0, false) + source_wait) * vbar_plain);
+        }
+
+        let latency = (1.0 - h) * regular_latency + h * hot_latency;
 
         Ok(HypercubeOutput {
             latency,
@@ -257,8 +308,7 @@ impl HypercubeModel {
     pub fn saturation_bound(&self) -> f64 {
         let lm1 = self.message_length as f64 + 1.0;
         let hot_share = self.hot_fraction * self.num_nodes() / 2.0;
-        let n_nodes = self.num_nodes();
-        let reg_share = (1.0 - self.hot_fraction) * (n_nodes / 2.0) / (n_nodes - 1.0);
+        let reg_share = (1.0 - self.hot_fraction) * 0.5;
         1.0 / ((hot_share + reg_share) * lm1)
     }
 }

@@ -2,29 +2,46 @@
 //! latency in deterministically-routed k-ary n-cubes under hot-spot traffic
 //! (Loucif, Ould-Khaoua & Min, IPDPS 2005).
 //!
-//! The analysis covers the 2-D unidirectional torus (`k`-ary 2-cube) with
-//! dimension-order (x-then-y) wormhole routing, `V >= 2` virtual channels
-//! per physical channel, fixed `Lm`-flit messages, Poisson sources of rate
-//! `λ` messages/node/cycle, and the Pfister–Norton hot-spot destination
-//! model with hot fraction `h`.
+//! The paper instantiates the analysis for the 2-D unidirectional torus
+//! (`k`-ary 2-cube) with dimension-order (x-then-y) wormhole routing,
+//! `V >= 2` virtual channels per physical channel, fixed `Lm`-flit
+//! messages, Poisson sources of rate `λ` messages/node/cycle, and the
+//! Pfister–Norton hot-spot destination model with hot fraction `h`.  This
+//! crate carries the model at full generality — radix *and* dimension as
+//! parameters — with the paper's 2-D solver as a thin specialization:
+//!
+//! * [`NCubeModel`] — the generalized solver for any `(k, n)`;
+//! * [`HotSpotModel`] — the paper's 2-D API, numerically identical to
+//!   [`NCubeModel`] at `n = 2`;
+//! * [`HypercubeModel`] — the closed-form binary-hypercube model
+//!   (reference \[12\]), which [`NCubeModel`] reproduces at `k = 2`.
 //!
 //! # Quick start
 //!
 //! ```
-//! use kncube_core::{HotSpotModel, ModelConfig};
+//! use kncube_core::{HotSpotModel, ModelConfig, NCubeConfig, NCubeModel};
 //!
+//! // The paper's 16-ary 2-cube…
 //! let config = ModelConfig::paper_validation(16, 2, 32, 1e-4, 0.2);
 //! let out = HotSpotModel::new(config).unwrap().solve().unwrap();
 //! assert!(out.latency > 32.0); // at least the message length
+//!
+//! // …and an 8-ary 3-cube through the generalized entry point.
+//! let cube = NCubeModel::new(NCubeConfig::new(8, 3, 2, 32, 1e-5, 0.2)).unwrap();
+//! assert!(cube.solve().unwrap().latency > 32.0);
 //! ```
 //!
 //! # Structure
 //!
-//! * [`rates`] — channel traffic rates, Eqs. (1)–(9);
+//! * [`rates`] — channel traffic rates, Eqs. (1)–(9) and their
+//!   n-dimensional generalization;
 //! * [`probabilities`] — route-case probabilities behind Eqs. (11)–(15),
-//!   (22), (24) and (31)–(32);
-//! * [`solver`] — the fixed-point solution of the service-time recursions
-//!   (Eqs. 16–25) and the latency composition (Eqs. 10–15, 21–24, 31–37);
+//!   (22), (24) and (31)–(32), plus the generalized entry families;
+//! * [`ncube`] — the generalized fixed-point solver and latency
+//!   composition;
+//! * [`solver`] — the paper's 2-D API (Eqs. 10–37) over the generalized
+//!   solver;
+//! * [`hypercube`] — the binary-hypercube comparison model (closed form);
 //! * [`uniform`] — an independently-derived uniform-traffic baseline (the
 //!   `h → 0` sanity anchor);
 //! * [`sweep`] — load sweeps and saturation-point search, parallelised on
@@ -34,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod hypercube;
+pub mod ncube;
 pub mod probabilities;
 pub mod rates;
 pub mod solver;
@@ -41,11 +59,15 @@ pub mod sweep;
 pub mod uniform;
 
 pub use hypercube::{HypercubeModel, HypercubeOutput};
-pub use probabilities::RegularRouteProbs;
-pub use rates::Rates;
+pub use ncube::{NCubeConfig, NCubeModel, NCubeOutput};
+pub use probabilities::{entry_cases, EntryCase, RegularRouteProbs};
+pub use rates::{NCubeRates, Rates};
 pub use solver::{
     HotSpotModel, ModelConfig, ModelError, ModelOutput, ModelVariant, MultiplexingModel,
     ServiceTimeModel,
 };
-pub use sweep::{find_saturation, latency_curve, CurvePoint, SaturationError};
+pub use sweep::{
+    find_saturation, find_saturation_ncube, latency_curve, ncube_latency_curve, CurvePoint,
+    NCubeCurvePoint, SaturationError,
+};
 pub use uniform::UniformModel;

@@ -1,0 +1,761 @@
+//! The hot-spot latency model generalized to arbitrary k-ary n-cubes.
+//!
+//! This is the paper's model (Eqs. 10–37) with the dimension count `n`
+//! promoted to a first-class parameter.  The 2-D solver
+//! ([`crate::HotSpotModel`]) is the `n = 2` specialization of this module,
+//! and the binary-hypercube model ([`crate::HypercubeModel`]) is its
+//! closed-form `k = 2` instance — both relationships are enforced by the
+//! cross-validation tests in the facade crate.
+//!
+//! # How the 2-D machinery generalizes
+//!
+//! * **Channel rates.**  Dimension-order routing corrects dimensions in
+//!   ascending order, so all hot-spot movement in dimension `d` happens in
+//!   the *hot ring of dimension `d`* (matching the hot node below `d`).
+//!   The hot dimension-`d` channel `j` hops from the hot coordinate
+//!   funnels `k^d (k-j)` sources (generalized Eqs. 4–7,
+//!   [`crate::rates::NCubeRates`]); the regular rate `λ_r = λ(1-h)(k-1)/2`
+//!   (Eq. 3) is dimension-independent.
+//!
+//! * **Service-time recursions.**  Every per-channel recursion of
+//!   Eqs. (16)–(25) has the affine shape `S_j = 1 + B_j + S_{j-1}`, so the
+//!   seven hard-coded x/y families collapse into per-dimension data: the
+//!   position-averaged regular blocking `B_{d,hot}` / `B_nonhot`, and the
+//!   cumulative hot-path channel costs `C_{d,j} = Σ_{l<=j} (1 + B^h_{d,l})`
+//!   — the network latency of a hot message with per-dimension distance
+//!   profile `(t_0, …, t_{n-1})` is exactly `Lm + Σ_d C_{d,t_d}`, which at
+//!   `n = 2` reproduces the chains `S^h_y,j` (Eq. 23) and `S^h_x,j,t`
+//!   (Eq. 25) term for term.
+//!
+//! * **Route cases.**  The five 2-D cases of Eqs. (11)–(15) become the
+//!   *entry families* of [`crate::probabilities::entry_cases`] (first
+//!   dimension moved × hot/non-hot entry ring, exact `N-1` denominators);
+//!   within a family the expected remaining latency follows from chain
+//!   affinity: conditional on a later dimension `d > d0` being crossed the
+//!   message spends `(k-1)/2` expected hops there, in a hot ring with
+//!   probability `k^{-(d-d0)}` when the entry ring was hot (dimension-wise
+//!   independence of a uniform destination) and never otherwise.
+//!
+//! * **Composition.**  Source-queue waits (Eqs. 31–32) are evaluated per
+//!   source position — one node per distance profile — and the
+//!   multiplexing degrees (Eqs. 33–37) per channel family, exactly as the
+//!   2-D solver does over its `(j)` and `(j, t)` positions.
+//!
+//! Under the default [`ServiceTimeModel::PipelinedTransfer`] the blocking
+//! terms are load-only, so the fixed point converges immediately; the
+//! [`ServiceTimeModel::PathOccupancy`] ablation iterates the
+//! `holds → blocking → chains` loop like the 2-D solver.  (One
+//! approximation relative to the 2-D ablation code path: the hot chains
+//! average their downstream holding time over the tail profiles instead of
+//! keeping one chain per profile; the default model is unaffected.)
+
+use crate::probabilities::{entry_cases, EntryCase};
+use crate::rates::NCubeRates;
+use crate::solver::{ModelError, ModelVariant, MultiplexingModel, ServiceTimeModel, RHO_CAP};
+use kncube_queueing::blocking::{blocking_delay, channel_utilization, TrafficClass};
+use kncube_queueing::fixed_point::{self, FixedPointError, FixedPointOptions};
+use kncube_queueing::mg1;
+use kncube_queueing::vc_multiplex::multiplexing_factor;
+
+/// Largest supported node count: the latency composition enumerates one
+/// source-queue wait per node (Eq. 32 is a per-source quantity), so the
+/// model is practical up to about a million nodes.
+pub const MAX_MODEL_NODES: u64 = 1 << 20;
+
+/// Largest number of downstream tail profiles enumerated exactly when
+/// position-averaging blocking under the path-occupancy ablation; beyond
+/// it the mean tail cost is used instead.
+const TAIL_ENUM_CAP: usize = 4096;
+
+/// Configuration of one generalized model evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct NCubeConfig {
+    /// Radix `k` (nodes per dimension).
+    pub k: u32,
+    /// Dimension count `n`.
+    pub n: u32,
+    /// Virtual channels per physical channel (`V >= 2` in the paper;
+    /// `V = 1` is accepted for the math but is not deadlock-free in the
+    /// simulated network).
+    pub virtual_channels: u32,
+    /// Message length `Lm` in flits.
+    pub message_length: u32,
+    /// Per-node generation rate `λ` in messages/cycle.
+    pub lambda: f64,
+    /// Hot-spot fraction `h`.
+    pub hot_fraction: f64,
+    /// Eq. (25) blocking-term reading.
+    pub variant: ModelVariant,
+    /// Channel service-time model inside the blocking operator.
+    pub service_model: ServiceTimeModel,
+    /// Virtual-channel multiplexing model (Eqs. 33-35 or class-aware).
+    pub multiplexing: MultiplexingModel,
+    /// Fixed-point iteration controls.
+    pub options: FixedPointOptions,
+}
+
+impl NCubeConfig {
+    /// A configuration with the reconstruction defaults (the choices that
+    /// reproduce the paper's figures at `n = 2`).
+    pub fn new(k: u32, n: u32, v: u32, lm: u32, lambda: f64, h: f64) -> Self {
+        NCubeConfig {
+            k,
+            n,
+            virtual_channels: v,
+            message_length: lm,
+            lambda,
+            hot_fraction: h,
+            variant: ModelVariant::default(),
+            service_model: ServiceTimeModel::default(),
+            multiplexing: MultiplexingModel::default(),
+            options: FixedPointOptions::default(),
+        }
+    }
+}
+
+/// The solved generalized model.
+#[derive(Clone, Debug)]
+pub struct NCubeOutput {
+    /// Eq. (10): the headline mean message latency in cycles.
+    pub latency: f64,
+    /// `S_r`: mean latency of regular messages (probability-marginalised).
+    pub regular_latency: f64,
+    /// `S_h`: mean latency of hot-spot messages.
+    pub hot_latency: f64,
+    /// Eq. (31): mean network latency a regular message sees at any source.
+    pub mean_network_latency_regular: f64,
+    /// Eq. (32): mean source-queue wait of regular messages.
+    pub source_wait_regular: f64,
+    /// Position-averaged multiplexing degree of the hot ring family of
+    /// each dimension (index `d`; at `n = 2`, index 0 is the paper's
+    /// Eq. 37 x-average and index 1 its Eq. 36 hot-y-ring average).
+    pub vbar_hot: Vec<f64>,
+    /// Multiplexing degree at channels carrying no hot traffic.
+    pub vbar_nonhot: f64,
+    /// Position-averaged regular-message blocking delay at the hot ring
+    /// family of each dimension (the generalized Eqs. 17–20 terms).
+    pub blocking_hot: Vec<f64>,
+    /// Regular-message blocking delay at non-hot channels (Eq. 16's term).
+    pub blocking_nonhot: f64,
+    /// Converged hot-path services per dimension: entry `[d][j-1]` is the
+    /// network latency `Lm + C_{d,j}` of a hot message with `j` channels
+    /// left in dimension `d` and nothing after (at `n = 2`, `[1]` is the
+    /// `S^h_y,j` chain of Eq. 23).
+    pub hot_path_services: Vec<Vec<f64>>,
+    /// The largest channel/source utilization at the solution (a solution
+    /// exists only when this is below 1).
+    pub max_utilization: f64,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+/// The generalized analytical model for one configuration.
+#[derive(Clone, Debug)]
+pub struct NCubeModel {
+    config: NCubeConfig,
+    rates: NCubeRates,
+}
+
+/// State-vector layout: `[B_nonhot, B_hot[0..n], C[d][1..=m] per d]`.
+#[derive(Clone, Copy)]
+struct Layout {
+    n: usize,
+    /// `m = k - 1`: entries per dimension of the hot chain.
+    m: usize,
+}
+
+impl Layout {
+    fn len(&self) -> usize {
+        1 + self.n + self.n * self.m
+    }
+    fn b_nonhot(&self) -> usize {
+        0
+    }
+    fn b_hot(&self, d: usize) -> usize {
+        1 + d
+    }
+    /// `C_{d,j}` for `j in 1..=m`; `C_{d,0} = 0` is implicit.
+    fn c(&self, d: usize, j: usize) -> usize {
+        debug_assert!((1..=self.m).contains(&j));
+        1 + self.n + d * self.m + (j - 1)
+    }
+    fn c_or_zero(&self, state: &[f64], d: usize, j: usize) -> f64 {
+        if j == 0 {
+            0.0
+        } else {
+            state[self.c(d, j)]
+        }
+    }
+}
+
+impl NCubeModel {
+    /// Validate the configuration and build the model.
+    pub fn new(config: NCubeConfig) -> Result<Self, ModelError> {
+        if config.k < 2 {
+            return Err(ModelError::BadConfig("radix k must be >= 2".into()));
+        }
+        if config.n < 1 {
+            return Err(ModelError::BadConfig("need at least one dimension".into()));
+        }
+        let mut nodes: u64 = 1;
+        for _ in 0..config.n {
+            nodes = nodes.saturating_mul(config.k as u64);
+            if nodes > MAX_MODEL_NODES {
+                return Err(ModelError::BadConfig(format!(
+                    "k^n exceeds the supported model size ({MAX_MODEL_NODES} nodes)"
+                )));
+            }
+        }
+        if config.virtual_channels < 1 {
+            return Err(ModelError::BadConfig(
+                "need at least one virtual channel".into(),
+            ));
+        }
+        if config.message_length < 1 {
+            return Err(ModelError::BadConfig(
+                "message length must be >= 1 flit".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.hot_fraction) {
+            return Err(ModelError::BadConfig("h must be in [0, 1]".into()));
+        }
+        if !config.lambda.is_finite() || config.lambda < 0.0 {
+            return Err(ModelError::BadConfig("λ must be finite and >= 0".into()));
+        }
+        let rates = NCubeRates::new(config.k, config.n, config.lambda, config.hot_fraction);
+        Ok(NCubeModel { config, rates })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &NCubeConfig {
+        &self.config
+    }
+
+    /// The traffic rates (generalized Eqs. 1–9).
+    pub fn rates(&self) -> &NCubeRates {
+        &self.rates
+    }
+
+    /// Node count `N = k^n`.
+    fn num_nodes(&self) -> f64 {
+        (self.config.k as u64).pow(self.config.n) as f64
+    }
+
+    /// Entrance-averaged channel *holding* time of a regular family from
+    /// its position-averaged blocking term.
+    ///
+    /// A message holds a channel for `1 + S_{j-1}` cycles (header transfer
+    /// plus the service of the remaining path), excluding its own
+    /// acquisition wait.  Averaged over the entry positions `j = 1..k-1`
+    /// of an affine chain `S_j = j(1+B) + Lm` this is
+    /// `1 + Lm + (1+B)(k-2)/2` — the closed form of the 2-D solver's
+    /// family average.  Under the default pipelined-transfer reading the
+    /// holding time is the load-independent `Lm + 1` (see
+    /// [`ServiceTimeModel`]).
+    fn hold_regular(&self, blocking: f64) -> f64 {
+        let lm = self.config.message_length as f64;
+        match self.config.service_model {
+            ServiceTimeModel::PipelinedTransfer => lm + 1.0,
+            ServiceTimeModel::PathOccupancy => {
+                let m = (self.config.k - 1) as f64;
+                1.0 + lm + (1.0 + blocking) * (m - 1.0) / 2.0
+            }
+        }
+    }
+
+    /// Holding time of a hot dimension-`d` channel at in-ring chain value
+    /// `C_{d,l-1}` with downstream (higher-dimension) chain cost `tail`.
+    fn hot_hold(&self, c_before: f64, tail: f64) -> f64 {
+        let lm = self.config.message_length as f64;
+        match self.config.service_model {
+            ServiceTimeModel::PipelinedTransfer => lm + 1.0,
+            ServiceTimeModel::PathOccupancy => 1.0 + lm + c_before + tail,
+        }
+    }
+
+    /// The downstream tail costs a hot message can carry past dimension
+    /// `d`: one entry per profile of the higher dimensions (uniform over
+    /// positions, the generalized Eq. 18–20/25 position average).  Under
+    /// the pipelined default holds are load-independent, so a single zero
+    /// tail suffices; past [`TAIL_ENUM_CAP`] profiles the mean tail cost
+    /// stands in for the enumeration.
+    fn tail_sums(&self, layout: Layout, state: &[f64], d: usize) -> Vec<f64> {
+        if self.config.service_model == ServiceTimeModel::PipelinedTransfer {
+            return vec![0.0];
+        }
+        let k = self.config.k as usize;
+        let higher = layout.n - d - 1;
+        let count = k.checked_pow(higher as u32).unwrap_or(usize::MAX);
+        if count > TAIL_ENUM_CAP {
+            let mean: f64 = (d + 1..layout.n)
+                .map(|d2| {
+                    (0..=layout.m)
+                        .map(|j| layout.c_or_zero(state, d2, j))
+                        .sum::<f64>()
+                        / k as f64
+                })
+                .sum();
+            return vec![mean];
+        }
+        let mut sums = vec![0.0];
+        for d2 in d + 1..layout.n {
+            let mut next = Vec::with_capacity(sums.len() * k);
+            for &s in &sums {
+                for j in 0..=layout.m {
+                    next.push(s + layout.c_or_zero(state, d2, j));
+                }
+            }
+            sums = next;
+        }
+        sums
+    }
+
+    /// Zero-load initial guess: blocking-free chains.
+    fn initial_state(&self, layout: Layout) -> Vec<f64> {
+        let mut state = vec![0.0; layout.len()];
+        for d in 0..layout.n {
+            for j in 1..=layout.m {
+                state[layout.c(d, j)] = j as f64;
+            }
+        }
+        state
+    }
+
+    /// One application of the generalized recursions (16)–(20), (23), (25).
+    fn update(&self, layout: Layout, state: &[f64], next: &mut [f64]) {
+        let k = self.config.k as usize;
+        let lm = self.config.message_length as f64;
+        let lr = self.rates.regular_channel_rate();
+        let hold_nonhot = self.hold_regular(state[layout.b_nonhot()]);
+        let hold_hot: Vec<f64> = (0..layout.n)
+            .map(|d| self.hold_regular(state[layout.b_hot(d)]))
+            .collect();
+
+        // Eq. (16) generalized: blocking at a channel with no hot traffic.
+        next[layout.b_nonhot()] = blocking_delay(
+            TrafficClass::new(lr, hold_nonhot),
+            TrafficClass::none(),
+            lm,
+            RHO_CAP,
+        );
+
+        for d in 0..layout.n {
+            let tails = self.tail_sums(layout, state, d);
+            let inv_tails = 1.0 / tails.len() as f64;
+
+            // Eqs. (17)-(20) generalized: regular-message blocking at the
+            // hot ring family of dimension d, uniform over the k in-ring
+            // positions (and the tail profiles, which only matter under
+            // the path-occupancy ablation).
+            let mut sum = 0.0;
+            for l in 1..=k {
+                let rate = self.rates.hot_rate(d as u32, l as u32);
+                let c_before = layout.c_or_zero(state, d, l - 1);
+                for &tail in &tails {
+                    let hot = TrafficClass::new(rate, self.hot_hold(c_before, tail));
+                    sum += blocking_delay(TrafficClass::new(lr, hold_hot[d]), hot, lm, RHO_CAP);
+                }
+            }
+            next[layout.b_hot(d)] = sum / k as f64 * inv_tails;
+
+            // Eqs. (23)/(25) generalized: the hot-message chain C_{d,j}.
+            // The regular competitor's holding time follows the Eq. 25
+            // reading (ModelVariant); the last dimension always uses its
+            // own family, matching Eq. 23.
+            let reg_hold = match self.config.variant {
+                ModelVariant::XRingService => hold_hot[d],
+                ModelVariant::HotRingServiceEq25 => hold_hot[layout.n - 1],
+            };
+            let mut cum = 0.0;
+            for j in 1..=layout.m {
+                let rate = self.rates.hot_rate(d as u32, j as u32);
+                let c_before = layout.c_or_zero(state, d, j - 1);
+                let mut bsum = 0.0;
+                for &tail in &tails {
+                    bsum += blocking_delay(
+                        TrafficClass::new(lr, reg_hold),
+                        TrafficClass::new(rate, self.hot_hold(c_before, tail)),
+                        lm,
+                        RHO_CAP,
+                    );
+                }
+                cum += 1.0 + bsum * inv_tails;
+                next[layout.c(d, j)] = cum;
+            }
+        }
+    }
+
+    /// Solve the model.
+    pub fn solve(&self) -> Result<NCubeOutput, ModelError> {
+        let layout = Layout {
+            n: self.config.n as usize,
+            m: (self.config.k - 1) as usize,
+        };
+        let initial = self.initial_state(layout);
+        let report = fixed_point::solve(initial, self.config.options, |state, next| {
+            self.update(layout, state, next)
+        })
+        .map_err(|e| match e {
+            FixedPointError::NonFinite | FixedPointError::NotConverged => ModelError::NotConverged,
+        })?;
+        self.compose(layout, &report.state, report.iterations)
+    }
+
+    /// The generalized Eqs. (10)–(15), (21)–(24), (31)–(37) evaluated on
+    /// the converged blocking terms and hot chains.
+    fn compose(
+        &self,
+        layout: Layout,
+        state: &[f64],
+        iterations: usize,
+    ) -> Result<NCubeOutput, ModelError> {
+        let k = self.config.k as usize;
+        let kf = k as f64;
+        let n = layout.n;
+        let m = layout.m;
+        let lm = self.config.message_length as f64;
+        let v = self.config.virtual_channels;
+        let h = self.config.hot_fraction;
+        let n_nodes = self.num_nodes();
+        let lr = self.rates.regular_channel_rate();
+
+        let b_nonhot = state[layout.b_nonhot()];
+        let b_hot: Vec<f64> = (0..n).map(|d| state[layout.b_hot(d)]).collect();
+        let hold_nonhot = self.hold_regular(b_nonhot);
+        let hold_hot: Vec<f64> = b_hot.iter().map(|&b| self.hold_regular(b)).collect();
+
+        // --- Saturation diagnosis: every physical channel must be stable.
+        let mut max_util: f64 = 0.0;
+        if n >= 2 {
+            max_util =
+                channel_utilization(TrafficClass::new(lr, hold_nonhot), TrafficClass::none());
+        }
+        let tails: Vec<Vec<f64>> = (0..n).map(|d| self.tail_sums(layout, state, d)).collect();
+        for d in 0..n {
+            for l in 1..=k {
+                let rate = self.rates.hot_rate(d as u32, l as u32);
+                let c_before = layout.c_or_zero(state, d, l - 1);
+                for &tail in &tails[d] {
+                    let util = channel_utilization(
+                        TrafficClass::new(lr, hold_hot[d]),
+                        TrafficClass::new(rate, self.hot_hold(c_before, tail)),
+                    );
+                    max_util = max_util.max(util);
+                }
+            }
+        }
+        if max_util >= 1.0 {
+            return Err(ModelError::Saturated {
+                max_utilization: max_util,
+            });
+        }
+
+        // --- Eqs. (33)-(37): multiplexing degrees per channel family.
+        let vbar_of = |rho: f64| -> f64 {
+            match self.config.multiplexing {
+                MultiplexingModel::DallyMarkov => multiplexing_factor(rho, v),
+                MultiplexingModel::ClassAware => 1.0 + rho.clamp(0.0, (v - 1).max(1) as f64),
+            }
+        };
+        let vbar_nonhot = vbar_of(lr * hold_nonhot);
+        let vbar_hot: Vec<f64> = (0..n)
+            .map(|d| {
+                let mut sum = 0.0;
+                for l in 1..=k {
+                    let rate = self.rates.hot_rate(d as u32, l as u32);
+                    let c_before = layout.c_or_zero(state, d, l - 1);
+                    for &tail in &tails[d] {
+                        sum += vbar_of(lr * hold_hot[d] + rate * self.hot_hold(c_before, tail));
+                    }
+                }
+                sum / (k * tails[d].len()) as f64
+            })
+            .collect();
+
+        // --- Eq. (31) generalized: the expected network latency per entry
+        // family, by affinity of the chains.  Conditional on the entry the
+        // message spends k/2 expected hops in its entry ring; each later
+        // dimension is crossed with the (k-1)/k share folded into the
+        // (k-1)/2 expected hops, in a hot ring with probability
+        // k^{-(d-d0)} iff the entry ring was hot.
+        let cases = entry_cases(self.config.k, self.config.n);
+        let family_latency = |case: &EntryCase| -> f64 {
+            let d0 = case.dim as usize;
+            let b_first = if case.hot { b_hot[d0] } else { b_nonhot };
+            let mut s = lm + (kf / 2.0) * (1.0 + b_first);
+            for (d, &b) in b_hot.iter().enumerate().skip(d0 + 1) {
+                let p_hot_ring = if case.hot {
+                    kf.powi(-((d - d0) as i32))
+                } else {
+                    0.0
+                };
+                s += ((kf - 1.0) / 2.0)
+                    * (p_hot_ring * (1.0 + b) + (1.0 - p_hot_ring) * (1.0 + b_nonhot));
+            }
+            s
+        };
+        let s_r_network: f64 = cases
+            .iter()
+            .map(|case| case.probability * family_latency(case))
+            .sum();
+
+        // --- Eqs. (21)-(24) and (32): per-source hot latencies and waits,
+        // one source per distance profile (t_0, …, t_{n-1}) != 0.
+        let vc_rate = self.config.lambda / v as f64;
+        let wait = |service: f64| -> Result<f64, ModelError> {
+            mg1::waiting_time(vc_rate, service, lm).map_err(|sat| ModelError::Saturated {
+                max_utilization: sat.rho,
+            })
+        };
+        let mut ws_sum = 0.0;
+        let mut s_h_sum = 0.0;
+        let mut profile = vec![0usize; n];
+        'profiles: loop {
+            // Advance the odometer (dimension 0 fastest); the all-zero
+            // profile (the hot node itself) is skipped below.
+            let mut d = 0;
+            loop {
+                if d == n {
+                    break 'profiles;
+                }
+                profile[d] += 1;
+                if profile[d] <= m {
+                    break;
+                }
+                profile[d] = 0;
+                d += 1;
+            }
+            let s_h_net = lm
+                + profile
+                    .iter()
+                    .enumerate()
+                    .map(|(dd, &t)| layout.c_or_zero(state, dd, t))
+                    .sum::<f64>();
+            let d0 = profile.iter().position(|&t| t > 0).expect("non-zero");
+            let entry_tail: f64 = (d0 + 1..n)
+                .map(|dd| layout.c_or_zero(state, dd, profile[dd]))
+                .sum();
+            let entry_rho = lr * hold_hot[d0]
+                + self.rates.hot_rate(d0 as u32, profile[d0] as u32)
+                    * self.hot_hold(layout.c_or_zero(state, d0, profile[d0] - 1), entry_tail);
+            let w = wait((1.0 - h) * s_r_network + h * s_h_net)?;
+            ws_sum += w;
+            s_h_sum += (s_h_net + w) * vbar_of(entry_rho);
+        }
+        let ws_r = (ws_sum + wait(s_r_network)?) / n_nodes;
+        let s_h = s_h_sum / (n_nodes - 1.0);
+
+        // --- Eqs. (11)-(15) generalized: regular-message latency as the
+        // entry-family mix, each family scaled by the multiplexing degree
+        // of its entry channel family and carrying the mean source wait
+        // once.
+        let s_r: f64 = cases
+            .iter()
+            .map(|case| {
+                let vbar = if case.hot {
+                    vbar_hot[case.dim as usize]
+                } else {
+                    vbar_nonhot
+                };
+                case.probability * (family_latency(case) + ws_r) * vbar
+            })
+            .sum();
+
+        // --- Eq. (10).
+        let latency = (1.0 - h) * s_r + h * s_h;
+
+        let hot_path_services = (0..n)
+            .map(|d| (1..=m).map(|j| lm + state[layout.c(d, j)]).collect())
+            .collect();
+        Ok(NCubeOutput {
+            latency,
+            regular_latency: s_r,
+            hot_latency: s_h,
+            mean_network_latency_regular: s_r_network,
+            source_wait_regular: ws_r,
+            vbar_hot,
+            vbar_nonhot,
+            blocking_hot: b_hot,
+            blocking_nonhot: b_nonhot,
+            hot_path_services,
+            max_utilization: max_util,
+            iterations,
+        })
+    }
+
+    /// Closed-form zero-load latency (λ → 0): no blocking, no queueing, no
+    /// multiplexing; each visited dimension costs its expected hops and the
+    /// message drains in `Lm` cycles.
+    pub fn zero_load_latency(&self) -> f64 {
+        let kf = self.config.k as f64;
+        let n = self.config.n;
+        let lm = self.config.message_length as f64;
+        let n_nodes = self.num_nodes();
+        let s_r0: f64 = entry_cases(self.config.k, n)
+            .iter()
+            .map(|case| {
+                case.probability * (lm + kf / 2.0 + (n - 1 - case.dim) as f64 * (kf - 1.0) / 2.0)
+            })
+            .sum();
+        // Hot sources: the mean distance profile sum over the N-1 non-hot
+        // nodes, n·(k-1)/2 · N/(N-1).
+        let s_h0 = lm + n as f64 * (kf - 1.0) / 2.0 * n_nodes / (n_nodes - 1.0);
+        (1.0 - self.config.hot_fraction) * s_r0 + self.config.hot_fraction * s_h0
+    }
+
+    /// The hot-channel flit bound on the saturation rate: the last channel
+    /// into the hot node drains `λ h k^{n-1}(k-1)` hot messages plus the
+    /// regular share at `Lm + 1` cycles each and cannot absorb more than
+    /// one flit per cycle — the n-dimensional analogue of the 2-D
+    /// `1/(h·k(k-1)·(Lm+1))` bound and of the hypercube's
+    /// `2/(h·N·(Lm+1))`.
+    pub fn flit_bound(&self) -> f64 {
+        let k = self.config.k as f64;
+        let hot_share = self.config.hot_fraction * k.powi(self.config.n as i32 - 1) * (k - 1.0);
+        let reg_share = (1.0 - self.config.hot_fraction) * (k - 1.0) / 2.0;
+        1.0 / ((hot_share + reg_share) * (self.config.message_length as f64 + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(k: u32, n: u32, lambda: f64, h: f64) -> Result<NCubeOutput, ModelError> {
+        NCubeModel::new(NCubeConfig::new(k, n, 2, 16, lambda, h))
+            .unwrap()
+            .solve()
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(NCubeModel::new(NCubeConfig::new(1, 3, 2, 16, 1e-5, 0.2)).is_err());
+        assert!(NCubeModel::new(NCubeConfig::new(4, 0, 2, 16, 1e-5, 0.2)).is_err());
+        assert!(NCubeModel::new(NCubeConfig::new(4, 3, 0, 16, 1e-5, 0.2)).is_err());
+        assert!(NCubeModel::new(NCubeConfig::new(4, 3, 2, 0, 1e-5, 0.2)).is_err());
+        assert!(NCubeModel::new(NCubeConfig::new(4, 3, 2, 16, 1e-5, 1.5)).is_err());
+        assert!(NCubeModel::new(NCubeConfig::new(4, 3, 2, 16, f64::NAN, 0.2)).is_err());
+        // k^n beyond the per-source composition budget.
+        assert!(NCubeModel::new(NCubeConfig::new(64, 5, 2, 16, 1e-5, 0.2)).is_err());
+    }
+
+    #[test]
+    fn vanishing_load_matches_zero_load_closed_form() {
+        for (k, n, h) in [(4u32, 3u32, 0.2f64), (8, 3, 0.4), (4, 4, 0.0), (2, 6, 0.5)] {
+            let model = NCubeModel::new(NCubeConfig::new(k, n, 2, 16, 1e-10, h)).unwrap();
+            let out = model.solve().unwrap();
+            let expected = model.zero_load_latency();
+            assert!(
+                (out.latency - expected).abs() / expected < 1e-3,
+                "k={k} n={n} h={h}: solved {} vs closed form {expected}",
+                out.latency
+            );
+            assert!(out.source_wait_regular < 1e-3);
+        }
+    }
+
+    #[test]
+    fn single_ring_zero_load_is_half_circumference() {
+        let model = NCubeModel::new(NCubeConfig::new(8, 1, 2, 16, 1e-10, 0.0)).unwrap();
+        // One dimension, entry probability 1: Lm + k/2.
+        assert!((model.zero_load_latency() - (16.0 + 4.0)).abs() < 1e-12);
+        assert!(model.solve().is_ok());
+    }
+
+    #[test]
+    fn latency_increases_with_load() {
+        let mut prev = 0.0;
+        for i in 1..=6 {
+            let lambda = i as f64 * 2e-5;
+            let out = solve(8, 3, lambda, 0.2).unwrap();
+            assert!(
+                out.latency > prev,
+                "λ={lambda}: latency {} not increasing (prev {prev})",
+                out.latency
+            );
+            prev = out.latency;
+        }
+    }
+
+    #[test]
+    fn latency_increases_with_hot_fraction() {
+        let l20 = solve(8, 3, 5e-5, 0.2).unwrap().latency;
+        let l40 = solve(8, 3, 5e-5, 0.4).unwrap().latency;
+        let l70 = solve(8, 3, 5e-5, 0.7).unwrap().latency;
+        assert!(l20 < l40 && l40 < l70, "{l20} {l40} {l70}");
+    }
+
+    #[test]
+    fn saturates_near_the_flit_bound() {
+        for (k, n, h) in [(4u32, 3u32, 0.3f64), (8, 3, 0.2), (4, 4, 0.5), (16, 2, 0.4)] {
+            let mk = |lambda: f64| NCubeModel::new(NCubeConfig::new(k, n, 2, 16, lambda, h));
+            let bound = mk(0.0).unwrap().flit_bound();
+            assert!(
+                mk(0.5 * bound).unwrap().solve().is_ok(),
+                "k={k} n={n} h={h}: half the flit bound must solve"
+            );
+            assert!(
+                mk(2.0 * bound).unwrap().solve().is_err(),
+                "k={k} n={n} h={h}: twice the flit bound must saturate"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_messages_slower_than_regular_under_hot_load() {
+        let out = solve(8, 3, 5e-5, 0.4).unwrap();
+        assert!(
+            out.hot_latency > out.regular_latency,
+            "hot {} vs regular {}",
+            out.hot_latency,
+            out.regular_latency
+        );
+    }
+
+    #[test]
+    fn inner_dimensions_block_harder_under_hot_traffic() {
+        // The funnel factor k^d makes the hot ring of a higher dimension
+        // carry strictly more hot traffic, so its position-averaged
+        // blocking and multiplexing dominate the lower dimensions'.
+        let out = solve(8, 3, 5e-5, 0.4).unwrap();
+        for d in 1..3 {
+            assert!(
+                out.blocking_hot[d] > out.blocking_hot[d - 1],
+                "blocking {:?}",
+                out.blocking_hot
+            );
+            assert!(out.vbar_hot[d] >= out.vbar_hot[d - 1]);
+        }
+        assert!(out.blocking_hot[0] >= out.blocking_nonhot);
+    }
+
+    #[test]
+    fn hot_path_services_grow_towards_the_hot_node() {
+        let out = solve(8, 3, 6e-5, 0.4).unwrap();
+        for chain in &out.hot_path_services {
+            for w in chain.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn h_zero_erases_the_hot_ring_asymmetry() {
+        let out = solve(8, 3, 2e-3, 0.0).unwrap();
+        for d in 0..3 {
+            assert!(
+                (out.blocking_hot[d] - out.blocking_nonhot).abs() < 1e-12,
+                "h=0 asymmetry in dim {d}"
+            );
+            assert!((out.vbar_hot[d] - out.vbar_nonhot).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eq10_mix_reproduces_the_headline_latency() {
+        let h = 0.35;
+        let out = solve(4, 4, 1e-4, h).unwrap();
+        let mix = (1.0 - h) * out.regular_latency + h * out.hot_latency;
+        assert!((mix - out.latency).abs() < 1e-9 * out.latency);
+    }
+}

@@ -1,92 +1,93 @@
-//! Channel traffic rates: Eqs. (1)–(9) of the paper.
+//! Channel traffic rates: Eqs. (1)–(9) of the paper, generalized to
+//! arbitrary k-ary n-cubes.
 //!
 //! Regular (uniform-destination) traffic loads every channel of a dimension
 //! equally; hot-spot traffic concentrates on the channels that funnel into
 //! the hot-spot node.  With dimension-order routing on the unidirectional
-//! 2-D torus:
+//! n-cube:
 //!
-//! * every hot-spot message first travels inside its own x-ring to the hot
-//!   column, then down the **hot y-ring** to the hot node;
-//! * an x-channel `j` hops from the hot y-ring carries the hot traffic of
-//!   the `k - j` nodes behind it in its ring (Eqs. 4, 6);
-//! * the hot-y-ring channel `j` hops from the hot node carries the hot
-//!   traffic of the `k(k - j)` nodes whose y-entry point is at distance
-//!   `>= j` (Eqs. 5, 7).
+//! * every hot-spot message corrects its dimensions in ascending order, so
+//!   its dimension-`d` movement happens inside the *hot ring of dimension
+//!   `d`* (the ring matching the hot node on every dimension below `d`);
+//! * the hot dimension-`d` channel `j` hops from the hot coordinate carries
+//!   the hot traffic of the `k^d (k - j)` nodes that funnel through it —
+//!   the product-over-rings generalization of Eqs. (4)–(7), whose 2-D
+//!   instances are the paper's `k - j` (x, Eqs. 4/6) and `k(k - j)`
+//!   (hot y-ring, Eqs. 5/7).
 
-/// The per-channel traffic rates for a given network and load.
+/// Per-channel traffic rates for a k-ary n-cube at a given load —
+/// Eqs. (1)–(9) with dimension as a parameter.
 #[derive(Clone, Copy, Debug)]
-pub struct Rates {
+pub struct NCubeRates {
     k: u32,
+    n: u32,
     lambda: f64,
     hot_fraction: f64,
 }
 
-impl Rates {
-    /// Rates for a `k × k` unidirectional torus with per-node generation
+impl NCubeRates {
+    /// Rates for a unidirectional k-ary n-cube with per-node generation
     /// rate `lambda` and hot fraction `hot_fraction`.
-    pub fn new(k: u32, lambda: f64, hot_fraction: f64) -> Self {
+    pub fn new(k: u32, n: u32, lambda: f64, hot_fraction: f64) -> Self {
         assert!(k >= 2);
+        assert!(n >= 1);
         assert!(lambda >= 0.0);
         assert!((0.0..=1.0).contains(&hot_fraction));
-        Rates {
+        NCubeRates {
             k,
+            n,
             lambda,
             hot_fraction,
         }
     }
 
     /// Eq. (1): mean channels crossed per dimension by a regular message,
-    /// `k̄ = (k-1)/2`.
+    /// `k̄ = (k-1)/2` (the paper's convention: the average includes
+    /// destinations needing no movement in the dimension).
     pub fn mean_hops_per_dim(&self) -> f64 {
         (self.k as f64 - 1.0) / 2.0
     }
 
-    /// Eq. (2): mean channels crossed in the whole 2-D network,
-    /// `d̄ = 2 k̄`.
+    /// Eq. (2): mean channels crossed in the whole network, `d̄ = n k̄`.
     pub fn mean_hops_total(&self) -> f64 {
-        2.0 * self.mean_hops_per_dim()
+        self.n as f64 * self.mean_hops_per_dim()
     }
 
-    /// Eq. (3): regular traffic rate on any channel of either dimension,
+    /// Eq. (3): regular traffic rate on any channel of any dimension,
     /// `λ_r = λ (1-h) k̄`.
     ///
     /// Derivation: each of the `N` nodes generates `λ(1-h)` regular
     /// messages/cycle, each crossing `k̄` channels per dimension on
     /// average; a dimension has `N` channels, so the per-channel rate is
-    /// `N·λ(1-h)·k̄ / N`.
+    /// `N·λ(1-h)·k̄ / N` — independent of the dimension count.
     pub fn regular_channel_rate(&self) -> f64 {
         self.lambda * (1.0 - self.hot_fraction) * self.mean_hops_per_dim()
     }
 
-    /// Eqs. (4) & (6): hot-spot traffic rate on an x-channel `j` hops from
-    /// the hot y-ring (`1 <= j <= k`): `λ^h_x,j = N λ h P_hx,j = λ h (k-j)`.
-    pub fn hot_rate_x(&self, j: u32) -> f64 {
+    /// Generalized Eqs. (4)–(7): hot-spot traffic rate on the hot
+    /// dimension-`dim` channel `j` hops from the hot coordinate
+    /// (`1 <= j <= k`): `λ^h_{d,j} = N λ h P_{h,d,j} = λ h k^d (k-j)`.
+    pub fn hot_rate(&self, dim: u32, j: u32) -> f64 {
+        assert!(dim < self.n);
         assert!((1..=self.k).contains(&j));
-        self.lambda * self.hot_fraction * (self.k - j) as f64
+        let funnel = (self.k as u64).pow(dim) * (self.k - j) as u64;
+        self.lambda * self.hot_fraction * funnel as f64
     }
 
-    /// Eqs. (5) & (7): hot-spot traffic rate on the hot-y-ring channel `j`
-    /// hops from the hot node (`1 <= j <= k`):
-    /// `λ^h_y,j = N λ h P_hy,j = λ h k (k-j)`.
-    pub fn hot_rate_y(&self, j: u32) -> f64 {
-        assert!((1..=self.k).contains(&j));
-        self.lambda * self.hot_fraction * (self.k * (self.k - j)) as f64
-    }
-
-    /// Eq. (8): total rate on an x-channel `j` hops from the hot y-ring.
-    pub fn total_rate_x(&self, j: u32) -> f64 {
-        self.regular_channel_rate() + self.hot_rate_x(j)
-    }
-
-    /// Eq. (9): total rate on the hot-y-ring channel `j` hops from the hot
-    /// node.
-    pub fn total_rate_y(&self, j: u32) -> f64 {
-        self.regular_channel_rate() + self.hot_rate_y(j)
+    /// Generalized Eqs. (8)–(9): total rate on the hot dimension-`dim`
+    /// channel `j` hops from the hot coordinate.
+    pub fn total_rate(&self, dim: u32, j: u32) -> f64 {
+        self.regular_channel_rate() + self.hot_rate(dim, j)
     }
 
     /// The radix.
     pub fn k(&self) -> u32 {
         self.k
+    }
+
+    /// The dimension count.
+    pub fn n(&self) -> u32 {
+        self.n
     }
 
     /// Per-node generation rate `λ`.
@@ -97,6 +98,80 @@ impl Rates {
     /// Hot fraction `h`.
     pub fn hot_fraction(&self) -> f64 {
         self.hot_fraction
+    }
+}
+
+/// The paper's 2-D rates (Eqs. 1–9 as printed): the `n = 2` specialization
+/// of [`NCubeRates`] under the paper's x/y naming.
+#[derive(Clone, Copy, Debug)]
+pub struct Rates {
+    inner: NCubeRates,
+}
+
+impl Rates {
+    /// Rates for a `k × k` unidirectional torus with per-node generation
+    /// rate `lambda` and hot fraction `hot_fraction`.
+    pub fn new(k: u32, lambda: f64, hot_fraction: f64) -> Self {
+        Rates {
+            inner: NCubeRates::new(k, 2, lambda, hot_fraction),
+        }
+    }
+
+    /// Eq. (1): mean channels crossed per dimension by a regular message,
+    /// `k̄ = (k-1)/2`.
+    pub fn mean_hops_per_dim(&self) -> f64 {
+        self.inner.mean_hops_per_dim()
+    }
+
+    /// Eq. (2): mean channels crossed in the whole 2-D network,
+    /// `d̄ = 2 k̄`.
+    pub fn mean_hops_total(&self) -> f64 {
+        self.inner.mean_hops_total()
+    }
+
+    /// Eq. (3): regular traffic rate on any channel of either dimension,
+    /// `λ_r = λ (1-h) k̄`.
+    pub fn regular_channel_rate(&self) -> f64 {
+        self.inner.regular_channel_rate()
+    }
+
+    /// Eqs. (4) & (6): hot-spot traffic rate on an x-channel `j` hops from
+    /// the hot y-ring (`1 <= j <= k`): `λ^h_x,j = N λ h P_hx,j = λ h (k-j)`.
+    pub fn hot_rate_x(&self, j: u32) -> f64 {
+        self.inner.hot_rate(0, j)
+    }
+
+    /// Eqs. (5) & (7): hot-spot traffic rate on the hot-y-ring channel `j`
+    /// hops from the hot node (`1 <= j <= k`):
+    /// `λ^h_y,j = N λ h P_hy,j = λ h k (k-j)`.
+    pub fn hot_rate_y(&self, j: u32) -> f64 {
+        self.inner.hot_rate(1, j)
+    }
+
+    /// Eq. (8): total rate on an x-channel `j` hops from the hot y-ring.
+    pub fn total_rate_x(&self, j: u32) -> f64 {
+        self.inner.total_rate(0, j)
+    }
+
+    /// Eq. (9): total rate on the hot-y-ring channel `j` hops from the hot
+    /// node.
+    pub fn total_rate_y(&self, j: u32) -> f64 {
+        self.inner.total_rate(1, j)
+    }
+
+    /// The radix.
+    pub fn k(&self) -> u32 {
+        self.inner.k()
+    }
+
+    /// Per-node generation rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.inner.lambda()
+    }
+
+    /// Hot fraction `h`.
+    pub fn hot_fraction(&self) -> f64 {
+        self.inner.hot_fraction()
     }
 }
 
@@ -159,6 +234,46 @@ mod tests {
             assert_eq!(r.hot_rate_x(j), 0.0);
             assert_eq!(r.hot_rate_y(j), 0.0);
             assert!((r.total_rate_x(j) - r.regular_channel_rate()).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn ncube_rates_specialize_to_the_2d_forms() {
+        let g = NCubeRates::new(12, 2, 3e-4, 0.35);
+        let r = Rates::new(12, 3e-4, 0.35);
+        assert_eq!(g.regular_channel_rate(), r.regular_channel_rate());
+        for j in 1..=12 {
+            assert_eq!(g.hot_rate(0, j), r.hot_rate_x(j));
+            assert_eq!(g.hot_rate(1, j), r.hot_rate_y(j));
+        }
+    }
+
+    #[test]
+    fn ncube_hot_rates_scale_by_k_pow_dim() {
+        // Generalized Eqs. 6-7: moving one dimension inwards multiplies the
+        // funnel by k (one more fully-corrected dimension feeds the ring).
+        let g = NCubeRates::new(4, 4, 1e-3, 0.5);
+        for dim in 0..3 {
+            for j in 1..4 {
+                let lo = g.hot_rate(dim, j);
+                let hi = g.hot_rate(dim + 1, j);
+                assert!((hi - 4.0 * lo).abs() < 1e-15, "dim={dim} j={j}");
+            }
+        }
+        // Binding channel of the innermost dimension: λ h k^{n-1}(k-1).
+        let binding = g.hot_rate(3, 1);
+        assert!((binding - 1e-3 * 0.5 * 192.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ncube_rate_at_k2_matches_hypercube_levels() {
+        // At k = 2 the hot dimension-d channel at distance 1 is the
+        // hypercube's level-d hot channel: γ_d = λ h 2^d.
+        let g = NCubeRates::new(2, 6, 2e-3, 0.4);
+        for d in 0..6 {
+            let expected = 2e-3 * 0.4 * (1u64 << d) as f64;
+            assert!((g.hot_rate(d, 1) - expected).abs() < 1e-15);
+            assert_eq!(g.hot_rate(d, 2), 0.0);
         }
     }
 }

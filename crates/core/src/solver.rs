@@ -1,10 +1,11 @@
-//! The fixed-point solution of the hot-spot latency model (Eqs. 10–37).
+//! The paper's 2-D hot-spot latency model (Eqs. 10–37), as the `n = 2`
+//! specialization of the generalized k-ary n-cube solver.
 //!
 //! # Unknowns
 //!
-//! The model's interdependent unknowns are seven families of per-channel
-//! mean *service times* (`j` counts the channels left to visit, `1..k-1`;
-//! `t` names an x-ring by its paper-distance from the hot node, `1..=k`):
+//! The paper's seven interdependent families of per-channel mean *service
+//! times* (`j` counts the channels left to visit, `1..k-1`; `t` names an
+//! x-ring by its paper-distance from the hot node, `1..=k`):
 //!
 //! | symbol | meaning | equation |
 //! |--------|---------|----------|
@@ -20,10 +21,14 @@
 //! cycle for the header to cross the channel, the mean blocking delay at
 //! that channel, then the service time of the rest of the path — with the
 //! terminal `S_1 = 1 + B + Lm` (`Lm` cycles for the message body to drain
-//! into the destination once the header lands).  The `k`-indexed *entrance*
-//! quantities (`S^r_hy,k` etc.) are the averages over `j = 1..k-1`, which
-//! double as the expected service time of a randomly-encountered competing
-//! message inside the blocking operator.
+//! into the destination once the header lands).  Because the chains are
+//! affine given the blocking terms, the whole system reduces to the
+//! per-dimension data the generalized solver ([`crate::ncube`]) iterates:
+//! the position-averaged blocking `B_nonhot`/`B_{d,hot}` and the
+//! cumulative hot-path costs `C_{d,j}`.  [`HotSpotModel`] instantiates
+//! that solver at `n = 2` and re-derives the paper's named families from
+//! its output, so the 2-D API is *numerically identical* to the
+//! generalized model (the cross-validation suite asserts bit equality).
 //!
 //! # Composition
 //!
@@ -44,16 +49,13 @@
 //! the probability over `S` but then add an unweighted `Ws`, which cannot
 //! be literal — the probabilities would not marginalise).
 
-use crate::probabilities::RegularRouteProbs;
+use crate::ncube::{NCubeConfig, NCubeModel};
 use crate::rates::Rates;
-use kncube_queueing::blocking::{blocking_delay, channel_utilization, TrafficClass};
-use kncube_queueing::fixed_point::{self, FixedPointError, FixedPointOptions};
-use kncube_queueing::mg1;
-use kncube_queueing::vc_multiplex::multiplexing_factor;
+use kncube_queueing::fixed_point::FixedPointOptions;
 use std::fmt;
 
 /// Utilization cap used to keep intermediate fixed-point iterates finite.
-const RHO_CAP: f64 = 1.0 - 1e-7;
+pub(crate) const RHO_CAP: f64 = 1.0 - 1e-7;
 
 /// Which mean service time competing *regular* messages present at an
 /// x-ring channel in the hot-message recursion, Eq. (25).
@@ -63,7 +65,9 @@ const RHO_CAP: f64 = 1.0 - 1e-7;
 /// analogous regular-message recursions (Eqs. 18–20) use the x-channel
 /// entrance service `S^r_{x,k}`.  The default follows physical consistency
 /// (`XRingService`); the alternative reproduces the OCR reading, and the
-/// `ablations` bench quantifies the (small) difference.
+/// `ablations` bench quantifies the (small) difference.  In the
+/// generalized solver "x" reads as "the message's current dimension" and
+/// "hot ring" as "the hot ring of the last dimension".
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ModelVariant {
     /// Use `S^r_{x,k}` in Eq. (25)'s blocking term (default).
@@ -118,7 +122,7 @@ pub enum MultiplexingModel {
     ClassAware,
 }
 
-/// Configuration of one model evaluation.
+/// Configuration of one 2-D model evaluation.
 #[derive(Clone, Copy, Debug)]
 pub struct ModelConfig {
     /// Radix `k` of the `k × k` unidirectional torus.
@@ -161,6 +165,23 @@ impl ModelConfig {
             options: FixedPointOptions::default(),
         }
     }
+
+    /// The same operating point as a generalized n-cube configuration with
+    /// `n = 2`.
+    pub fn as_ncube(&self) -> NCubeConfig {
+        NCubeConfig {
+            k: self.k,
+            n: 2,
+            virtual_channels: self.virtual_channels,
+            message_length: self.message_length,
+            lambda: self.lambda,
+            hot_fraction: self.hot_fraction,
+            variant: self.variant,
+            service_model: self.service_model,
+            multiplexing: self.multiplexing,
+            options: self.options,
+        }
+    }
 }
 
 /// Why the model has no solution at this operating point.
@@ -197,7 +218,8 @@ impl fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
-/// The solved model: latency and its decomposition.
+/// The solved model: latency and its decomposition under the paper's 2-D
+/// naming.
 #[derive(Clone, Debug)]
 pub struct ModelOutput {
     /// Eq. (10): the headline mean message latency in cycles.
@@ -228,108 +250,24 @@ pub struct ModelOutput {
     pub hot_ring_services: Vec<f64>,
 }
 
-/// The analytical model for one configuration.
+/// The analytical model for one 2-D configuration — a thin specialization
+/// of [`NCubeModel`] at `n = 2`.
 #[derive(Clone, Debug)]
 pub struct HotSpotModel {
     config: ModelConfig,
+    inner: NCubeModel,
     rates: Rates,
-    probs: RegularRouteProbs,
-}
-
-/// State-vector layout: seven families flattened into one `Vec<f64>`.
-#[derive(Clone, Copy)]
-struct Layout {
-    /// `m = k - 1`: entries per `j`-indexed family.
-    m: usize,
-    /// radix as usize.
-    k: usize,
-}
-
-impl Layout {
-    fn new(k: u32) -> Self {
-        Layout {
-            m: (k - 1) as usize,
-            k: k as usize,
-        }
-    }
-    fn len(&self) -> usize {
-        6 * self.m + self.m * self.k
-    }
-    /// `S^r_h̄y,j`, `j ∈ 1..=m`.
-    fn sr_nonhot(&self, j: usize) -> usize {
-        j - 1
-    }
-    /// `S^r_hy,j`.
-    fn sr_hot(&self, j: usize) -> usize {
-        self.m + j - 1
-    }
-    /// `S^r_x,j`.
-    fn sr_x(&self, j: usize) -> usize {
-        2 * self.m + j - 1
-    }
-    /// `S^r_x→hy,j`.
-    fn sr_x_hot(&self, j: usize) -> usize {
-        3 * self.m + j - 1
-    }
-    /// `S^r_x→h̄y,j`.
-    fn sr_x_nonhot(&self, j: usize) -> usize {
-        4 * self.m + j - 1
-    }
-    /// `S^h_y,j`.
-    fn sh_y(&self, j: usize) -> usize {
-        5 * self.m + j - 1
-    }
-    /// `S^h_x,j,t`, `t ∈ 1..=k`.
-    fn sh_x(&self, j: usize, t: usize) -> usize {
-        6 * self.m + (t - 1) * self.m + j - 1
-    }
-}
-
-fn average(slice: &[f64]) -> f64 {
-    slice.iter().sum::<f64>() / slice.len() as f64
-}
-
-/// Entrance-averaged channel *holding* times of the three regular-message
-/// families (see [`HotSpotModel::holdings`] for the latency/holding
-/// distinction).
-#[derive(Clone, Copy, Debug)]
-struct Holdings {
-    /// Regular messages at non-hot y channels.
-    reg_nonhot: f64,
-    /// Regular messages at hot-y-ring channels.
-    reg_hot: f64,
-    /// Regular messages at x channels.
-    reg_x: f64,
 }
 
 impl HotSpotModel {
     /// Validate the configuration and build the model.
     pub fn new(config: ModelConfig) -> Result<Self, ModelError> {
-        if config.k < 2 {
-            return Err(ModelError::BadConfig("radix k must be >= 2".into()));
-        }
-        if config.virtual_channels < 1 {
-            return Err(ModelError::BadConfig(
-                "need at least one virtual channel".into(),
-            ));
-        }
-        if config.message_length < 1 {
-            return Err(ModelError::BadConfig(
-                "message length must be >= 1 flit".into(),
-            ));
-        }
-        if !(0.0..=1.0).contains(&config.hot_fraction) {
-            return Err(ModelError::BadConfig("h must be in [0, 1]".into()));
-        }
-        if !config.lambda.is_finite() || config.lambda < 0.0 {
-            return Err(ModelError::BadConfig("λ must be finite and >= 0".into()));
-        }
+        let inner = NCubeModel::new(config.as_ncube())?;
         let rates = Rates::new(config.k, config.lambda, config.hot_fraction);
-        let probs = RegularRouteProbs::new(config.k);
         Ok(HotSpotModel {
             config,
+            inner,
             rates,
-            probs,
         })
     }
 
@@ -343,451 +281,33 @@ impl HotSpotModel {
         &self.rates
     }
 
-    /// Zero-load initial guess: service time = remaining hops + `Lm`.
-    fn initial_state(&self, layout: Layout) -> Vec<f64> {
-        let lm = self.config.message_length as f64;
-        let mut state = vec![0.0; layout.len()];
-        for j in 1..=layout.m {
-            let jf = j as f64;
-            state[layout.sr_nonhot(j)] = jf + lm;
-            state[layout.sr_hot(j)] = jf + lm;
-            state[layout.sr_x(j)] = jf + lm;
-            // After x, an average of (k-1)/2-ish more hops follow; a rough
-            // guess is fine — the iteration refines it.
-            state[layout.sr_x_hot(j)] = jf + lm + layout.k as f64 / 2.0;
-            state[layout.sr_x_nonhot(j)] = jf + lm + layout.k as f64 / 2.0;
-            state[layout.sh_y(j)] = jf + lm;
-            for t in 1..=layout.k {
-                let tail = if t == layout.k { 0.0 } else { t as f64 };
-                state[layout.sh_x(j, t)] = jf + tail + lm;
-            }
-        }
-        state
-    }
-
-    /// Channel *holding* times derived from the latency state.
-    ///
-    /// A message holds a channel from the cycle its header crosses it until
-    /// its tail does — that is `1 + S_{j-1}` (header transfer plus the
-    /// service of the remaining path), **excluding** the message's own wait
-    /// `B_j` to acquire the channel: while waiting it does not occupy the
-    /// channel.  Feeding the full remaining *latency* `S_j` (which contains
-    /// `B_j`) back as the channel's service time — a literal reading the
-    /// OCR of Eqs. (17)/(23) permits — makes the blocking self-amplifying
-    /// and saturates the model an order of magnitude below the paper's
-    /// figure axes; with holding times the saturation points land exactly
-    /// on the axis ranges of Figures 1–2 (see DESIGN.md).  Holding times
-    /// are also what utilization and the multiplexing load (Eqs. 27, 33)
-    /// physically mean.
-    fn holdings(&self, layout: Layout, state: &[f64]) -> Holdings {
-        let m = layout.m;
-        let lm = self.config.message_length as f64;
-        match self.config.service_model {
-            ServiceTimeModel::PipelinedTransfer => {
-                let t = lm + 1.0;
-                Holdings {
-                    reg_nonhot: t,
-                    reg_hot: t,
-                    reg_x: t,
-                }
-            }
-            ServiceTimeModel::PathOccupancy => {
-                // Average over entrance positions j = 1..m of (1 + S_{j-1}),
-                // with S_0 = Lm: the expected occupancy by a randomly-
-                // encountered competitor of the family.
-                let family_hold = |base: usize| -> f64 {
-                    let chain: f64 = (1..m).map(|j| state[base + j - 1]).sum();
-                    1.0 + (lm + chain) / m as f64
-                };
-                Holdings {
-                    reg_nonhot: family_hold(layout.sr_nonhot(1)),
-                    reg_hot: family_hold(layout.sr_hot(1)),
-                    reg_x: family_hold(layout.sr_x(1)),
-                }
-            }
-        }
-    }
-
-    /// Holding time of the hot-ring channel `j` by a hot-spot message.
-    fn hot_hold_y(&self, layout: Layout, state: &[f64], j: usize) -> f64 {
-        let lm = self.config.message_length as f64;
-        match self.config.service_model {
-            ServiceTimeModel::PipelinedTransfer => lm + 1.0,
-            ServiceTimeModel::PathOccupancy => {
-                1.0 + if j == 1 {
-                    lm
-                } else {
-                    state[layout.sh_y(j - 1)]
-                }
-            }
-        }
-    }
-
-    /// Holding time of the x channel `(j, t)` by a hot-spot message.
-    fn hot_hold_x(&self, layout: Layout, state: &[f64], j: usize, t: usize) -> f64 {
-        let lm = self.config.message_length as f64;
-        match self.config.service_model {
-            ServiceTimeModel::PipelinedTransfer => lm + 1.0,
-            ServiceTimeModel::PathOccupancy => {
-                1.0 + if j == 1 {
-                    if t == layout.k {
-                        lm
-                    } else {
-                        state[layout.sh_y(t)]
-                    }
-                } else {
-                    state[layout.sh_x(j - 1, t)]
-                }
-            }
-        }
-    }
-
-    /// One application of the recursions (16)–(20), (23), (25).
-    fn update(&self, layout: Layout, state: &[f64], next: &mut [f64]) {
-        let k = layout.k;
-        let m = layout.m;
-        let lm = self.config.message_length as f64;
-        let lr = self.rates.regular_channel_rate();
-        let holds = self.holdings(layout, state);
-
-        // Entrance (j-averaged) latencies, the tails of Eqs. (19)-(20).
-        let sr_nonhot_k = average(&state[0..m]);
-        let sr_hot_k = average(&state[m..2 * m]);
-
-        // Eq. (16): blocking at a non-hot y channel (regular traffic only).
-        let b_nonhot = blocking_delay(
-            TrafficClass::new(lr, holds.reg_nonhot),
-            TrafficClass::none(),
-            lm,
-            RHO_CAP,
-        );
-
-        // Eq. (17): blocking averaged over the k positions of the hot
-        // y-ring (a competing channel is l hops from the hot node with
-        // probability 1/k; position l = k carries no hot traffic).
-        let b_hotring = (1..=k)
-            .map(|l| {
-                let hot = if l < k {
-                    TrafficClass::new(
-                        self.rates.hot_rate_y(l as u32),
-                        self.hot_hold_y(layout, state, l),
-                    )
-                } else {
-                    TrafficClass::none()
-                };
-                blocking_delay(TrafficClass::new(lr, holds.reg_hot), hot, lm, RHO_CAP)
-            })
-            .sum::<f64>()
-            / k as f64;
-
-        // Eqs. (18)-(20): blocking averaged over all k² x-channel positions
-        // (ring t, in-ring position l).
-        let b_x = {
-            let mut sum = 0.0;
-            for t in 1..=k {
-                for l in 1..=k {
-                    let hot = if l < k {
-                        TrafficClass::new(
-                            self.rates.hot_rate_x(l as u32),
-                            self.hot_hold_x(layout, state, l, t),
-                        )
-                    } else {
-                        TrafficClass::none()
-                    };
-                    sum += blocking_delay(TrafficClass::new(lr, holds.reg_x), hot, lm, RHO_CAP);
-                }
-            }
-            sum / (k * k) as f64
-        };
-
-        // The chains below are evaluated Gauss-Seidel style: `S_j` uses the
-        // *freshly computed* `S_{j-1}` of this sweep, not last iteration's.
-        // Given the blocking terms, each chain is an exact linear recursion,
-        // so only the scalar feedback loops (entrance averages ↔ blocking,
-        // self-referential hot services) iterate — and those, starting from
-        // the zero-load state, form a monotone-increasing sequence bounded
-        // by the first (physical) fixed point whenever one exists.
-        for j in 1..=m {
-            // Eq. (16).
-            next[layout.sr_nonhot(j)] = 1.0
-                + b_nonhot
-                + if j == 1 {
-                    lm
-                } else {
-                    next[layout.sr_nonhot(j - 1)]
-                };
-            // Eq. (17).
-            next[layout.sr_hot(j)] = 1.0
-                + b_hotring
-                + if j == 1 {
-                    lm
-                } else {
-                    next[layout.sr_hot(j - 1)]
-                };
-            // Eq. (18).
-            next[layout.sr_x(j)] = 1.0 + b_x + if j == 1 { lm } else { next[layout.sr_x(j - 1)] };
-            // Eq. (19): after the last x channel the message enters the hot
-            // y-ring and sees its entrance service time.
-            next[layout.sr_x_hot(j)] = 1.0
-                + b_x
-                + if j == 1 {
-                    sr_hot_k
-                } else {
-                    next[layout.sr_x_hot(j - 1)]
-                };
-            // Eq. (20): same, non-hot ring.
-            next[layout.sr_x_nonhot(j)] = 1.0
-                + b_x
-                + if j == 1 {
-                    sr_nonhot_k
-                } else {
-                    next[layout.sr_x_nonhot(j - 1)]
-                };
-            // Eq. (23): hot message in the hot y-ring competes with regular
-            // traffic (holding of the regular hot-ring family) and the hot
-            // traffic at its own channel position.
-            next[layout.sh_y(j)] =
-                1.0 + blocking_delay(
-                    TrafficClass::new(lr, holds.reg_hot),
-                    TrafficClass::new(
-                        self.rates.hot_rate_y(j as u32),
-                        self.hot_hold_y(layout, state, j),
-                    ),
-                    lm,
-                    RHO_CAP,
-                ) + if j == 1 { lm } else { next[layout.sh_y(j - 1)] };
-        }
-        // Eq. (25), after the complete `S^h_y` chain is available (a hot
-        // message leaving dimension x enters the hot ring at position `t`).
-        let reg_service_x = match self.config.variant {
-            ModelVariant::XRingService => holds.reg_x,
-            ModelVariant::HotRingServiceEq25 => holds.reg_hot,
-        };
-        for t in 1..=k {
-            for j in 1..=m {
-                let b = blocking_delay(
-                    TrafficClass::new(lr, reg_service_x),
-                    TrafficClass::new(
-                        self.rates.hot_rate_x(j as u32),
-                        self.hot_hold_x(layout, state, j, t),
-                    ),
-                    lm,
-                    RHO_CAP,
-                );
-                let tail = if j == 1 {
-                    if t == k {
-                        // Last x channel of the hot node's own x-ring: the
-                        // message drains into the hot node.
-                        lm
-                    } else {
-                        // Enter the hot y-ring with t hops to go.
-                        next[layout.sh_y(t)]
-                    }
-                } else {
-                    next[layout.sh_x(j - 1, t)]
-                };
-                next[layout.sh_x(j, t)] = 1.0 + b + tail;
-            }
-        }
-    }
-
     /// Solve the model.
     pub fn solve(&self) -> Result<ModelOutput, ModelError> {
-        let layout = Layout::new(self.config.k);
-        let initial = self.initial_state(layout);
-        let report = fixed_point::solve(initial, self.config.options, |state, next| {
-            self.update(layout, state, next)
-        })
-        .map_err(|e| match e {
-            FixedPointError::NonFinite | FixedPointError::NotConverged => ModelError::NotConverged,
-        })?;
-        self.compose(layout, &report.state, report.iterations)
-    }
-
-    /// Eqs. (10)–(15), (21)–(24), (31)–(37) evaluated on the converged
-    /// service times.
-    #[allow(clippy::needless_range_loop)] // j/t are the paper's indices
-    fn compose(
-        &self,
-        layout: Layout,
-        state: &[f64],
-        iterations: usize,
-    ) -> Result<ModelOutput, ModelError> {
-        let k = layout.k;
-        let m = layout.m;
-        let kf = k as f64;
-        let n_nodes = kf * kf;
+        let out = self.inner.solve()?;
+        // Re-derive the paper's named entrance services from the
+        // generalized per-dimension blocking terms: each family chain is
+        // affine, so its j-average is (k/2)(1+B) plus its tail.
+        let kf = self.config.k as f64;
         let lm = self.config.message_length as f64;
-        let v = self.config.virtual_channels;
-        let h = self.config.hot_fraction;
-        let lambda = self.config.lambda;
-        let lr = self.rates.regular_channel_rate();
-
-        let sr_nonhot_k = average(&state[0..m]);
-        let sr_hot_k = average(&state[m..2 * m]);
-        let sr_x_k = average(&state[2 * m..3 * m]);
-        let sr_x_hot_k = average(&state[3 * m..4 * m]);
-        let sr_x_nonhot_k = average(&state[4 * m..5 * m]);
-        let holds = self.holdings(layout, state);
-
-        // --- Saturation diagnosis: every physical channel must be stable.
-        // A channel's load is its message rate times the *holding* time.
-        let mut max_util: f64 = 0.0;
-        max_util = max_util.max(channel_utilization(
-            TrafficClass::new(lr, holds.reg_nonhot),
-            TrafficClass::none(),
-        ));
-        for j in 1..=k {
-            let hot = if j < k {
-                TrafficClass::new(
-                    self.rates.hot_rate_y(j as u32),
-                    self.hot_hold_y(layout, state, j),
-                )
-            } else {
-                TrafficClass::none()
-            };
-            max_util = max_util.max(channel_utilization(
-                TrafficClass::new(lr, holds.reg_hot),
-                hot,
-            ));
-        }
-        for t in 1..=k {
-            for j in 1..=k {
-                let hot = if j < k {
-                    TrafficClass::new(
-                        self.rates.hot_rate_x(j as u32),
-                        self.hot_hold_x(layout, state, j, t),
-                    )
-                } else {
-                    TrafficClass::none()
-                };
-                max_util =
-                    max_util.max(channel_utilization(TrafficClass::new(lr, holds.reg_x), hot));
-            }
-        }
-        if max_util >= 1.0 {
-            return Err(ModelError::Saturated {
-                max_utilization: max_util,
-            });
-        }
-
-        // --- Eq. (31): network latency a regular message expects at any
-        // source: the probability mix of the five route cases.
-        let p = &self.probs;
-        let s_r_network = p.y_only_hot_ring * sr_hot_k
-            + p.y_only_nonhot_ring * sr_nonhot_k
-            + p.x_only * sr_x_k
-            + p.x_then_hot_ring * sr_x_hot_k
-            + p.x_then_nonhot_ring * sr_x_nonhot_k;
-
-        // --- Eq. (32): source-queue waits, M/G/1 at rate λ/V.  The service
-        // a node's queue offers is the mean network latency of the mix of
-        // messages the node generates.
-        let vc_rate = lambda / v as f64;
-        let wait = |service: f64| -> Result<f64, ModelError> {
-            mg1::waiting_time(vc_rate, service, lm).map_err(|sat| ModelError::Saturated {
-                max_utilization: sat.rho,
-            })
-        };
-
-        // Hot node: generates only regular traffic.
-        let mut ws_r_sum = wait(s_r_network)?;
-        // Hot-ring sources, one per j.
-        let mut ws_hy = vec![0.0; m + 1];
-        for j in 1..=m {
-            let service = (1.0 - h) * s_r_network + h * state[layout.sh_y(j)];
-            let w = wait(service)?;
-            ws_hy[j] = w;
-            ws_r_sum += w;
-        }
-        // All other sources, one per (j, t).
-        let mut ws_x = vec![vec![0.0; k + 1]; m + 1];
-        for j in 1..=m {
-            for t in 1..=k {
-                let service = (1.0 - h) * s_r_network + h * state[layout.sh_x(j, t)];
-                let w = wait(service)?;
-                ws_x[j][t] = w;
-                ws_r_sum += w;
-            }
-        }
-        let ws_r = ws_r_sum / n_nodes;
-
-        // --- Eqs. (33)-(37): multiplexing degrees per channel family; the
-        // occupancy the Markov chain tracks is rate × holding time.
-        let vbar_of = |rho: f64| -> f64 {
-            match self.config.multiplexing {
-                MultiplexingModel::DallyMarkov => multiplexing_factor(rho, v),
-                MultiplexingModel::ClassAware => 1.0 + rho.clamp(0.0, (v - 1).max(1) as f64),
-            }
-        };
-        let vbar_nonhot = vbar_of(lr * holds.reg_nonhot);
-        let mut vbar_hy = vec![1.0; k + 1];
-        for j in 1..=k {
-            let rho = if j < k {
-                lr * holds.reg_hot
-                    + self.rates.hot_rate_y(j as u32) * self.hot_hold_y(layout, state, j)
-            } else {
-                lr * holds.reg_hot
-            };
-            vbar_hy[j] = vbar_of(rho);
-        }
-        let vbar_hy_avg = vbar_hy[1..=k].iter().sum::<f64>() / kf;
-        let mut vbar_x = vec![vec![1.0; k + 1]; k + 1];
-        for j in 1..=k {
-            for t in 1..=k {
-                let rho = if j < k {
-                    lr * holds.reg_x
-                        + self.rates.hot_rate_x(j as u32) * self.hot_hold_x(layout, state, j, t)
-                } else {
-                    lr * holds.reg_x
-                };
-                vbar_x[j][t] = vbar_of(rho);
-            }
-        }
-        let vbar_x_avg = vbar_x[1..=k]
-            .iter()
-            .flat_map(|row| &row[1..=k])
-            .sum::<f64>()
-            / (kf * kf);
-
-        // --- Eqs. (11)-(15): regular-message latency, probability mix with
-        // the source wait counted once per case.
-        let s_r = p.y_only_hot_ring * (sr_hot_k + ws_r) * vbar_hy_avg
-            + p.y_only_nonhot_ring * (sr_nonhot_k + ws_r) * vbar_nonhot
-            + p.x_only * (sr_x_k + ws_r) * vbar_x_avg
-            + p.x_then_hot_ring * (sr_x_hot_k + ws_r) * vbar_x_avg
-            + p.x_then_nonhot_ring * (sr_x_nonhot_k + ws_r) * vbar_x_avg;
-
-        // --- Eqs. (21)-(24): hot-message latency, uniform over the N-1
-        // sources; each source's latency is scaled by the multiplexing
-        // degree at its entry channel.
-        let mut s_h_sum = 0.0;
-        for j in 1..=m {
-            s_h_sum += (state[layout.sh_y(j)] + ws_hy[j]) * vbar_hy[j];
-        }
-        for j in 1..=m {
-            for t in 1..=k {
-                s_h_sum += (state[layout.sh_x(j, t)] + ws_x[j][t]) * vbar_x[j][t];
-            }
-        }
-        let s_h = s_h_sum / (n_nodes - 1.0);
-
-        // --- Eq. (10).
-        let latency = (1.0 - h) * s_r + h * s_h;
-
+        let x_leg = (kf / 2.0) * (1.0 + out.blocking_hot[0]);
+        let sr_nonhot_k = lm + (kf / 2.0) * (1.0 + out.blocking_nonhot);
+        let sr_hot_k = lm + (kf / 2.0) * (1.0 + out.blocking_hot[1]);
+        let sr_x_k = lm + x_leg;
+        let sr_x_hot_k = x_leg + sr_hot_k;
+        let sr_x_nonhot_k = x_leg + sr_nonhot_k;
         Ok(ModelOutput {
-            latency,
-            regular_latency: s_r,
-            hot_latency: s_h,
-            mean_network_latency_regular: s_r_network,
-            source_wait_regular: ws_r,
-            vbar_hot_ring: vbar_hy_avg,
-            vbar_nonhot_ring: vbar_nonhot,
-            vbar_x: vbar_x_avg,
-            max_utilization: max_util,
-            iterations,
+            latency: out.latency,
+            regular_latency: out.regular_latency,
+            hot_latency: out.hot_latency,
+            mean_network_latency_regular: out.mean_network_latency_regular,
+            source_wait_regular: out.source_wait_regular,
+            vbar_hot_ring: out.vbar_hot[1],
+            vbar_nonhot_ring: out.vbar_nonhot,
+            vbar_x: out.vbar_hot[0],
+            max_utilization: out.max_utilization,
+            iterations: out.iterations,
             entrance_services: [sr_nonhot_k, sr_hot_k, sr_x_k, sr_x_hot_k, sr_x_nonhot_k],
-            hot_ring_services: (1..=m).map(|j| state[layout.sh_y(j)]).collect(),
+            hot_ring_services: out.hot_path_services[1].clone(),
         })
     }
 
@@ -800,7 +320,7 @@ impl HotSpotModel {
         let m = self.config.k - 1;
         let lm = self.config.message_length as f64;
         let h = self.config.hot_fraction;
-        let p = &self.probs;
+        let p = crate::probabilities::RegularRouteProbs::new(self.config.k);
         // Mean over j = 1..k-1 of (j + Lm) is (k/2 + Lm).
         let one_dim = k / 2.0 + lm;
         let two_dim = k + lm; // j-average + second-dimension entrance average
@@ -867,6 +387,19 @@ mod tests {
             );
             assert!(out.vbar_hot_ring < 1.0 + 1e-3);
             assert!(out.source_wait_regular < 1e-3);
+        }
+    }
+
+    #[test]
+    fn zero_load_closed_forms_agree_across_the_apis() {
+        for (k, lm, h) in [(8u32, 32u32, 0.2f64), (16, 100, 0.7), (5, 16, 0.45)] {
+            let cfg = ModelConfig::paper_validation(k, 2, lm, 1e-6, h);
+            let wrapper = HotSpotModel::new(cfg).unwrap().zero_load_latency();
+            let general = NCubeModel::new(cfg.as_ncube()).unwrap().zero_load_latency();
+            assert!(
+                (wrapper - general).abs() < 1e-9,
+                "k={k}: 2-D {wrapper} vs generalized {general}"
+            );
         }
     }
 

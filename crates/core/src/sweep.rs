@@ -8,6 +8,7 @@
 //! this is the hot path of every figure binary, where grids can reach
 //! hundreds of points.
 
+use crate::ncube::{NCubeConfig, NCubeModel, NCubeOutput};
 use crate::solver::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
 use rayon::prelude::*;
 
@@ -28,6 +29,27 @@ pub fn latency_curve(base: ModelConfig, lambdas: &[f64]) -> Vec<CurvePoint> {
         .map(|&lambda| {
             let result = HotSpotModel::new(ModelConfig { lambda, ..base }).and_then(|m| m.solve());
             CurvePoint { lambda, result }
+        })
+        .collect()
+}
+
+/// One point of a generalized n-cube latency curve.
+#[derive(Clone, Debug)]
+pub struct NCubeCurvePoint {
+    /// The per-node generation rate of this point.
+    pub lambda: f64,
+    /// The model solution, or the saturation error past `λ*`.
+    pub result: Result<NCubeOutput, ModelError>,
+}
+
+/// Evaluate the generalized model at each `lambda`, in parallel on the
+/// pooled worker threads.  Points come back in input order.
+pub fn ncube_latency_curve(base: NCubeConfig, lambdas: &[f64]) -> Vec<NCubeCurvePoint> {
+    lambdas
+        .par_iter()
+        .map(|&lambda| {
+            let result = NCubeModel::new(NCubeConfig { lambda, ..base }).and_then(|m| m.solve());
+            NCubeCurvePoint { lambda, result }
         })
         .collect()
 }
@@ -83,9 +105,39 @@ impl std::error::Error for SaturationError {}
 /// of panicking.
 pub fn find_saturation(
     base: ModelConfig,
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+) -> Result<f64, SaturationError> {
+    bisect_saturation(lo, hi, rel_tol, |lambda| {
+        HotSpotModel::new(ModelConfig { lambda, ..base })
+            .map(|m| m.solve().is_ok())
+            .unwrap_or(false)
+    })
+}
+
+/// [`find_saturation`] for the generalized n-cube model: the largest rate
+/// at which [`NCubeModel`] still has a solution, to relative width
+/// `rel_tol`.
+pub fn find_saturation_ncube(
+    base: NCubeConfig,
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+) -> Result<f64, SaturationError> {
+    bisect_saturation(lo, hi, rel_tol, |lambda| {
+        NCubeModel::new(NCubeConfig { lambda, ..base })
+            .map(|m| m.solve().is_ok())
+            .unwrap_or(false)
+    })
+}
+
+/// The shared bisection behind both saturation searches.
+fn bisect_saturation(
     mut lo: f64,
     mut hi: f64,
     rel_tol: f64,
+    solvable: impl Fn(f64) -> bool,
 ) -> Result<f64, SaturationError> {
     if !(lo.is_finite() && hi.is_finite() && rel_tol.is_finite())
         || lo < 0.0
@@ -94,11 +146,6 @@ pub fn find_saturation(
     {
         return Err(SaturationError::InvalidBracket { lo, hi, rel_tol });
     }
-    let solvable = |lambda: f64| {
-        HotSpotModel::new(ModelConfig { lambda, ..base })
-            .map(|m| m.solve().is_ok())
-            .unwrap_or(false)
-    };
     // Widen until hi is saturated (bounded: utilization grows linearly in
     // λ, so a few doublings always suffice for a solvable model; a model
     // that never saturates exhausts the guard instead).
@@ -191,6 +238,36 @@ mod tests {
         // h=20% plots to 6e-4, h=70% to 2e-4.
         assert!(s20 > 2e-4 && s20 < 9e-4, "λ*={s20}");
         assert!(s70 > 5e-5 && s70 < 3e-4, "λ*={s70}");
+    }
+
+    #[test]
+    fn ncube_saturation_tracks_the_generalized_flit_bound() {
+        use crate::ncube::{NCubeConfig, NCubeModel};
+        for (k, n, h) in [(8u32, 3u32, 0.3f64), (4, 4, 0.5), (16, 2, 0.2)] {
+            let base = NCubeConfig::new(k, n, 2, 16, 0.0, h);
+            let bound = NCubeModel::new(base).unwrap().flit_bound();
+            let sat = find_saturation_ncube(base, 1e-9, 1e-1, 1e-3)
+                .expect("hot-spot n-cubes saturate inside the bracket");
+            assert!(
+                sat < bound && sat > 0.5 * bound,
+                "k={k} n={n} h={h}: λ*={sat:.3e} vs flit bound {bound:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn ncube_curve_matches_2d_curve_at_n2() {
+        let base2d = ModelConfig::paper_validation(8, 2, 16, 0.0, 0.3);
+        let lambdas = [2e-5, 1e-4, 2e-4];
+        let a = latency_curve(base2d, &lambdas);
+        let b = ncube_latency_curve(base2d.as_ncube(), &lambdas);
+        for (pa, pb) in a.iter().zip(&b) {
+            match (&pa.result, &pb.result) {
+                (Ok(x), Ok(y)) => assert_eq!(x.latency.to_bits(), y.latency.to_bits()),
+                (Err(_), Err(_)) => {}
+                other => panic!("solvability mismatch at λ={}: {other:?}", pa.lambda),
+            }
+        }
     }
 
     #[test]

@@ -84,16 +84,21 @@ impl fmt::Display for SimConfigError {
 impl std::error::Error for SimConfigError {}
 
 impl SimConfig {
-    /// The paper's validation setup: a `k × k` unidirectional torus,
-    /// Poisson sources of rate `lambda`, Pfister–Norton hot-spot pattern
-    /// with fraction `h` towards node 0, fixed `lm`-flit messages.
+    /// A generalized k-ary n-cube hot-spot run: a unidirectional cube of
+    /// radix `k` and dimension count `n`, Poisson sources of rate
+    /// `lambda`, Pfister–Norton hot-spot pattern with fraction `h` towards
+    /// node 0, fixed `lm`-flit messages.
     ///
-    /// Warm-up and run lengths default to values suitable for the paper's
-    /// loads; tune with [`SimConfig::with_limits`].
-    pub fn paper_validation(k: u32, v: u32, lm: u32, lambda: f64, h: f64, seed: u64) -> Self {
+    /// The engine itself is dimension-agnostic — router ports and
+    /// Dally–Seitz virtual-channel classes come from the topology's
+    /// channel ids, so the same flit pipeline serves a ring (`n = 1`), the
+    /// paper's torus (`n = 2`), a binary hypercube (`k = 2`) or any other
+    /// cube.  Warm-up and run lengths default to values suitable for the
+    /// paper's loads; tune with [`SimConfig::with_limits`].
+    pub fn ncube(k: u32, n: u32, v: u32, lm: u32, lambda: f64, h: f64, seed: u64) -> Self {
         SimConfig {
             k,
-            n: 2,
+            n,
             virtual_channels: v,
             buffer_depth: 2,
             message_length: lm,
@@ -111,6 +116,12 @@ impl SimConfig {
             batches: 10,
             max_source_queue: 2_000,
         }
+    }
+
+    /// The paper's validation setup: [`SimConfig::ncube`] at `n = 2` (a
+    /// `k × k` unidirectional torus).
+    pub fn paper_validation(k: u32, v: u32, lm: u32, lambda: f64, h: f64, seed: u64) -> Self {
+        Self::ncube(k, 2, v, lm, lambda, h, seed)
     }
 
     /// Override run lengths: `max_cycles`, `warmup_cycles` and the early
@@ -166,6 +177,21 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.topology().unwrap().num_nodes(), 256);
         assert!(matches!(c.pattern, TrafficPattern::HotSpot { .. }));
+    }
+
+    #[test]
+    fn ncube_constructor_generalizes_paper_validation() {
+        let c = SimConfig::ncube(8, 3, 2, 16, 1e-4, 0.2, 1);
+        assert!(c.validate().is_ok());
+        let t = c.topology().unwrap();
+        assert_eq!((t.k(), t.n(), t.num_nodes()), (8, 3, 512));
+        // A binary hypercube is the 2-ary n-cube.
+        let hc = SimConfig::ncube(2, 6, 2, 16, 1e-4, 0.2, 1);
+        assert_eq!(hc.topology().unwrap().num_nodes(), 64);
+        // paper_validation is exactly the n = 2 instance.
+        let p = SimConfig::paper_validation(8, 2, 16, 1e-4, 0.2, 1);
+        assert_eq!(p.n, 2);
+        assert_eq!(p.k, SimConfig::ncube(8, 2, 2, 16, 1e-4, 0.2, 1).k);
     }
 
     #[test]

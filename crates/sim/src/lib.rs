@@ -9,10 +9,18 @@
 //!   flit buffer; the physical channel transmits **one flit per cycle**,
 //!   time-multiplexed over its virtual channels (the network cycle is the
 //!   transmission time of one flit);
-//! * routing is deterministic dimension-order (x then y), deadlock-free by
-//!   Dally–Seitz virtual-channel classes on every ring;
+//! * routing is deterministic dimension-order (dimension 0 first, then 1,
+//!   and so on), deadlock-free by Dally–Seitz virtual-channel classes on
+//!   every ring;
 //! * sources have infinite injection queues and generate messages by a
 //!   Poisson process; destinations drain arrived messages at channel rate.
+//!
+//! The engine is dimension-agnostic: router ports and virtual-channel
+//! classes are indexed by the topology's channel ids, so one flit pipeline
+//! serves any radix and dimension count — build a generalized run with
+//! [`SimConfig::ncube`] (the paper's 2-D torus is
+//! [`SimConfig::paper_validation`], its `n = 2` instance; a binary
+//! hypercube is `k = 2`).
 //!
 //! # Model
 //!

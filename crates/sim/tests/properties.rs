@@ -5,21 +5,26 @@ use kncube_topology::NodeId;
 use kncube_traffic::{ArrivalProcess, TrafficPattern};
 use proptest::prelude::*;
 
-/// Strategy over small sub-saturation configurations that finish quickly.
+/// Strategy over small sub-saturation configurations that finish quickly,
+/// spanning dimension counts 1..=3 (ring, torus, 3-D cube).
 fn small_config() -> impl Strategy<Value = SimConfig> {
     (
         3u32..=6,      // k
+        1u32..=3,      // n
         2u32..=3,      // V
         4u32..=16,     // Lm
         0.0f64..=0.6,  // h
         1u64..1000,    // seed
         0.05f64..=0.4, // fraction of the flit bound
     )
-        .prop_map(|(k, v, lm, h, seed, frac)| {
-            let hot_bound = 1.0 / (h.max(0.02) * (k * (k - 1)) as f64 * (lm + 1) as f64);
+        .prop_map(|(k, n, v, lm, h, seed, frac)| {
+            // Generalized hot-channel flit bound: the last channel into the
+            // hot node funnels k^{n-1}(k-1) hot sources.
+            let funnel = (k as f64).powi(n as i32 - 1) * (k - 1) as f64;
+            let hot_bound = 1.0 / (h.max(0.02) * funnel * (lm + 1) as f64);
             let uni_bound = 1.0 / ((k as f64 - 1.0) / 2.0 * (lm + 1) as f64);
             let lambda = frac * hot_bound.min(uni_bound);
-            SimConfig::paper_validation(k, v, lm, lambda, h, seed).with_limits(40_000, 2_000, 1_500)
+            SimConfig::ncube(k, n, v, lm, lambda, h, seed).with_limits(40_000, 2_000, 1_500)
         })
 }
 
@@ -104,7 +109,8 @@ proptest! {
         prop_assert!(!report.saturated);
         let offered = cfg.arrivals.rate();
         // Generous tolerance: short runs at tiny rates are noisy.
-        let sigma = (offered / (115_000.0 * (cfg.k * cfg.k) as f64)).sqrt();
+        let nodes = (cfg.k as u64).pow(cfg.n) as f64;
+        let sigma = (offered / (115_000.0 * nodes)).sqrt();
         prop_assert!(
             (report.throughput - offered).abs() < 4.0 * sigma + 0.1 * offered,
             "throughput {:.3e} vs offered {offered:.3e}",

@@ -57,6 +57,9 @@ pub enum TopologyError {
     BadDimensionCount,
     /// `k^n` overflows the node-id space.
     TooManyNodes,
+    /// The requested analysis only covers one link kind (e.g. hot-spot
+    /// geometry is defined for unidirectional links).
+    UnsupportedLinkKind,
 }
 
 impl fmt::Display for TopologyError {
@@ -67,6 +70,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "dimension count n must be in 1..={MAX_DIMS}")
             }
             TopologyError::TooManyNodes => write!(f, "k^n exceeds the supported node-id space"),
+            TopologyError::UnsupportedLinkKind => {
+                write!(f, "this analysis covers only unidirectional links")
+            }
         }
     }
 }

@@ -1,31 +1,36 @@
-//! Hot-spot geometry of §3 of the paper (2-D unidirectional torus).
+//! Hot-spot geometry of §3 of the paper, generalized to arbitrary k-ary
+//! n-cubes.
 //!
-//! With the hot-spot node at `(v_hx, v_hy)`, the paper names:
+//! With dimension-order routing (dimension 0 first) every hot-spot message
+//! corrects its coordinates in ascending dimension order, so all of its
+//! movement in dimension `d` happens inside the *hot ring of dimension
+//! `d`* that matches the hot-spot node on every dimension below `d`.  A
+//! channel of such a ring is **`j` hops away** (`1 <= j <= k`) when `j`
+//! forward hops from its source node reach the hot node's coordinate;
+//! `j = k` names the channel *leaving* the hot coordinate (the paper's
+//! convention for "distance zero").
 //!
-//! * the **hot y-ring** — the ring along dimension `y` containing the
-//!   hot-spot node (all nodes with `x = v_hx`).  Every hot-spot message that
-//!   moves in `y` does so inside this ring, because dimension-order routing
-//!   corrects `x` first;
-//! * a channel of the hot y-ring is **`j` hops away from the hot-spot node**
-//!   (`1 <= j <= k`) when `j` forward hops in `y` from its source node reach
-//!   the hot node; `j = k` names the outgoing channel of the hot node
-//!   itself;
-//! * a channel of an x-ring is **`j` hops away from the hot y-ring**
-//!   (`1 <= j <= k`) when `j` forward hops in `x` reach the hot column;
-//!   `j = k` names outgoing channels of hot-y-ring nodes;
-//! * an x-ring is **`t` hops away from the hot-spot node** (`1 <= t <= k`)
-//!   when its nodes are `t` forward `y`-hops from `v_hy`; `t = k` is the
-//!   x-ring through the hot node.
+//! The fraction of system nodes whose hot-spot traffic crosses a hot
+//! dimension-`d` channel `j` hops away is the product-over-rings
+//! generalization of Eqs. (4)–(5):
 //!
-//! From this geometry, the fractions of system nodes whose hot-spot traffic
-//! crosses a given channel are (Eqs. 4–5):
+//! ```text
+//! P_{h,d,j} = k^d (k - j) / N
+//! ```
+//!
+//! (`k - j` source coordinates behind the channel in its own ring, times
+//! the `k^d` free coordinates in the already-corrected dimensions below
+//! `d`; the coordinates above `d` are pinned to the channel's ring.)  The
+//! paper's 2-D forms are the `d = 0` ("x", Eq. 4) and `d = 1` ("y", Eq. 5)
+//! instances:
 //!
 //! ```text
 //! P_hx,j = (k - j) / N          (x channel, j hops from the hot y-ring)
 //! P_hy,j = k (k - j) / N        (hot y-ring channel, j hops from hot node)
 //! ```
 //!
-//! Both are verified against brute-force route enumeration in the tests.
+//! All of this is verified against brute-force route enumeration in the
+//! tests, for 2-D and higher-dimensional cubes alike.
 
 use crate::channel::{Channel, Direction};
 use crate::geometry::{KAryNCube, LinkKind, NodeId, TopologyError};
@@ -36,8 +41,9 @@ pub const DIM_X: u32 = 0;
 /// Dimension index of the paper's `y` dimension.
 pub const DIM_Y: u32 = 1;
 
-/// Classification of a source node relative to the hot-spot node, used by
-/// the analytical model to weight per-source latencies (Eqs. 22, 24, 32).
+/// Classification of a source node relative to the hot-spot node in the
+/// paper's 2-D taxonomy, used by the analytical model to weight per-source
+/// latencies (Eqs. 22, 24, 32).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SourceClass {
     /// The hot-spot node itself (generates only regular traffic).
@@ -59,7 +65,7 @@ pub enum SourceClass {
     },
 }
 
-/// Hot-spot geometry helper for a 2-D unidirectional torus.
+/// Hot-spot geometry helper for a unidirectional k-ary n-cube.
 #[derive(Clone, Copy, Debug)]
 pub struct HotSpotGeometry {
     topo: KAryNCube,
@@ -67,15 +73,13 @@ pub struct HotSpotGeometry {
 }
 
 impl HotSpotGeometry {
-    /// Build the geometry; the topology must be a unidirectional 2-D torus
-    /// (the configuration the paper's analysis covers).
+    /// Build the geometry; the topology must be unidirectional (the
+    /// configuration the paper's analysis covers — any dimension count is
+    /// accepted).
     pub fn new(topo: KAryNCube, hot: NodeId) -> Result<Self, TopologyError> {
-        if topo.n() != 2 {
-            return Err(TopologyError::BadDimensionCount);
-        }
         if topo.link_kind() != LinkKind::Unidirectional {
             // The analysis "considers only the uni-directional case".
-            return Err(TopologyError::BadDimensionCount);
+            return Err(TopologyError::UnsupportedLinkKind);
         }
         Ok(HotSpotGeometry { topo, hot })
     }
@@ -90,7 +94,8 @@ impl HotSpotGeometry {
         self.hot
     }
 
-    /// The hot y-ring: the dimension-`y` ring containing the hot-spot node.
+    /// The hot y-ring: the dimension-`y` ring containing the hot-spot node
+    /// (2-D naming; in general this is the hot ring of dimension 1).
     pub fn hot_y_ring(&self) -> Ring {
         self.topo.ring_of(self.hot, DIM_Y)
     }
@@ -107,34 +112,51 @@ impl HotSpotGeometry {
         }
     }
 
-    /// Distance (`1..=k`) of a hot-y-ring channel from the hot-spot node.
-    /// Returns `None` for channels that are not y-channels of the hot
-    /// y-ring.
-    pub fn y_channel_distance(&self, channel: Channel) -> Option<u32> {
-        if channel.dim != DIM_Y || channel.direction != Direction::Plus {
+    /// Whether `channel` carries hot-spot traffic, and at which paper
+    /// distance (`1..=k`) from the hot coordinate of its dimension.
+    ///
+    /// A dimension-`d` channel carries hot traffic iff its source node
+    /// already matches the hot node on every dimension *below* `d`
+    /// (dimension-order routing corrects lower dimensions first), so every
+    /// dimension-0 channel qualifies while only one in `k^d` rings of
+    /// dimension `d` does.  Returns `None` for channels that no hot-spot
+    /// route crosses.
+    pub fn hot_channel_distance(&self, channel: Channel) -> Option<u32> {
+        if channel.direction != Direction::Plus {
             return None;
         }
-        if self.topo.coord(channel.from, DIM_X) != self.topo.coord(self.hot, DIM_X) {
-            return None;
+        for lower in 0..channel.dim {
+            if self.topo.coord(channel.from, lower) != self.topo.coord(self.hot, lower) {
+                return None;
+            }
         }
         let fwd = self.topo.ring_distance_forward(
-            self.topo.coord(channel.from, DIM_Y),
-            self.topo.coord(self.hot, DIM_Y),
+            self.topo.coord(channel.from, channel.dim),
+            self.topo.coord(self.hot, channel.dim),
         );
         Some(self.paper_distance(fwd))
     }
 
-    /// Distance (`1..=k`) of an x-channel from the hot y-ring.  Returns
-    /// `None` for non-x channels.
-    pub fn x_channel_distance(&self, channel: Channel) -> Option<u32> {
-        if channel.dim != DIM_X || channel.direction != Direction::Plus {
+    /// Distance (`1..=k`) of a hot-y-ring channel from the hot-spot node.
+    /// Returns `None` for channels that are not y-channels of the hot
+    /// y-ring (2-D naming for [`HotSpotGeometry::hot_channel_distance`] at
+    /// `dim = 1`).
+    pub fn y_channel_distance(&self, channel: Channel) -> Option<u32> {
+        if channel.dim != DIM_Y {
             return None;
         }
-        let fwd = self.topo.ring_distance_forward(
-            self.topo.coord(channel.from, DIM_X),
-            self.topo.coord(self.hot, DIM_X),
-        );
-        Some(self.paper_distance(fwd))
+        self.hot_channel_distance(channel)
+    }
+
+    /// Distance (`1..=k`) of an x-channel from the hot y-ring.  Returns
+    /// `None` for non-x channels (2-D naming for
+    /// [`HotSpotGeometry::hot_channel_distance`] at `dim = 0`, where every
+    /// ring carries hot traffic).
+    pub fn x_channel_distance(&self, channel: Channel) -> Option<u32> {
+        if channel.dim != DIM_X {
+            return None;
+        }
+        self.hot_channel_distance(channel)
     }
 
     /// Distance (`1..=k`) of the x-ring containing `node` from the hot-spot
@@ -147,35 +169,58 @@ impl HotSpotGeometry {
         self.paper_distance(fwd)
     }
 
-    /// Classify a source node per the model's source taxonomy.
-    pub fn classify_source(&self, src: NodeId) -> SourceClass {
-        if src == self.hot {
-            return SourceClass::HotNode;
+    /// The forward distance from `src` to the hot node in every dimension —
+    /// the source's position in the generalized source taxonomy.  A
+    /// hot-spot message from `src` crosses exactly the hot channels of
+    /// dimension `d` at distances `profile[d], profile[d]-1, …, 1`.
+    pub fn distance_profile(&self, src: NodeId) -> Vec<u32> {
+        (0..self.topo.n())
+            .map(|d| {
+                self.topo
+                    .ring_distance_forward(self.topo.coord(src, d), self.topo.coord(self.hot, d))
+            })
+            .collect()
+    }
+
+    /// Classify a source node per the 2-D model's source taxonomy.
+    /// Returns `None` when the geometry is not 2-dimensional —
+    /// [`SourceClass`] has no meaning there; use
+    /// [`HotSpotGeometry::distance_profile`] for the general form.
+    pub fn classify_source(&self, src: NodeId) -> Option<SourceClass> {
+        if self.topo.n() != 2 {
+            return None;
         }
-        let dx = self.topo.ring_distance_forward(
-            self.topo.coord(src, DIM_X),
-            self.topo.coord(self.hot, DIM_X),
-        );
-        let dy = self.topo.ring_distance_forward(
-            self.topo.coord(src, DIM_Y),
-            self.topo.coord(self.hot, DIM_Y),
-        );
-        if dx == 0 {
+        if src == self.hot {
+            return Some(SourceClass::HotNode);
+        }
+        let profile = self.distance_profile(src);
+        let (dx, dy) = (profile[0], profile[1]);
+        Some(if dx == 0 {
             SourceClass::HotYRing { j: dy }
         } else {
             SourceClass::XRing {
                 j: dx,
                 t: self.paper_distance(dy),
             }
-        }
+        })
+    }
+
+    /// Generalized Eqs. (4)–(5): `P_{h,d,j} = k^d (k - j) / N` — fraction
+    /// of system nodes whose hot-spot messages cross a hot dimension-`dim`
+    /// channel `j` hops from the hot coordinate (`1 <= j <= k`; zero at
+    /// `j = k`).
+    pub fn p_hot(&self, dim: u32, j: u32) -> f64 {
+        assert!(dim < self.topo.n());
+        assert!((1..=self.topo.k()).contains(&j));
+        let lower_rings = (self.topo.k() as u64).pow(dim);
+        (lower_rings * (self.topo.k() - j) as u64) as f64 / self.topo.num_nodes() as f64
     }
 
     /// Eq. (4): `P_hx,j = (k - j)/N` — fraction of system nodes whose
     /// hot-spot messages cross a given x-channel `j` hops from the hot
     /// y-ring (`1 <= j <= k`; zero at `j = k`).
     pub fn p_hx(&self, j: u32) -> f64 {
-        assert!((1..=self.topo.k()).contains(&j));
-        (self.topo.k() - j) as f64 / self.topo.num_nodes() as f64
+        self.p_hot(DIM_X, j)
     }
 
     /// Eq. (5): `P_hy,j = k(k - j)/N` — fraction of system nodes whose
@@ -192,12 +237,12 @@ impl HotSpotGeometry {
     /// assert_eq!(g.p_hy(16), 0.0);
     /// ```
     pub fn p_hy(&self, j: u32) -> f64 {
-        assert!((1..=self.topo.k()).contains(&j));
-        (self.topo.k() * (self.topo.k() - j)) as f64 / self.topo.num_nodes() as f64
+        self.p_hot(DIM_Y, j)
     }
 
     /// Brute-force count of the source nodes whose dimension-order route to
-    /// the hot-spot node crosses `channel` (test oracle for Eqs. 4–5).
+    /// the hot-spot node crosses `channel` (test oracle for Eqs. 4–5 and
+    /// their n-dimensional generalization).
     pub fn count_hot_sources_crossing(&self, channel: Channel) -> u32 {
         let mut count = 0;
         for src in self.topo.nodes() {
@@ -224,11 +269,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_2d_or_bidirectional() {
+    fn accepts_any_dimension_rejects_bidirectional() {
         let t3 = KAryNCube::unidirectional(4, 3).unwrap();
-        assert!(HotSpotGeometry::new(t3, NodeId(0)).is_err());
+        let g3 = HotSpotGeometry::new(t3, NodeId(0)).unwrap();
+        // The 2-D source taxonomy has no meaning off n = 2.
+        assert_eq!(g3.classify_source(NodeId(1)), None);
+        let t1 = KAryNCube::unidirectional(7, 1).unwrap();
+        assert!(HotSpotGeometry::new(t1, NodeId(3)).is_ok());
         let tb = KAryNCube::bidirectional(4, 2).unwrap();
-        assert!(HotSpotGeometry::new(tb, NodeId(0)).is_err());
+        assert_eq!(
+            HotSpotGeometry::new(tb, NodeId(0)).unwrap_err(),
+            TopologyError::UnsupportedLinkKind
+        );
     }
 
     #[test]
@@ -294,7 +346,7 @@ mod tests {
         let mut hot_ring = vec![0u32; k as usize + 1];
         let mut x_ring = vec![vec![0u32; k as usize + 1]; k as usize + 1];
         for src in t.nodes() {
-            match g.classify_source(src) {
+            match g.classify_source(src).expect("2-D geometry") {
                 SourceClass::HotNode => hot_nodes += 1,
                 SourceClass::HotYRing { j } => {
                     assert!((1..k).contains(&j));
@@ -313,6 +365,26 @@ mod tests {
             assert_eq!(hot_ring[j as usize], 1);
             for tt in 1..=k {
                 assert_eq!(x_ring[j as usize][tt as usize], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_profile_matches_route_structure() {
+        let t = KAryNCube::unidirectional(4, 3).unwrap();
+        let hot = t.node_at(&[1, 2, 3]);
+        let g = HotSpotGeometry::new(t, hot).unwrap();
+        for src in t.nodes() {
+            let profile = g.distance_profile(src);
+            let route = t.dor_route(src, hot);
+            // Per-dimension hop counts of the route equal the profile.
+            for (d, &p) in profile.iter().enumerate() {
+                let hops = route
+                    .hops
+                    .iter()
+                    .filter(|h| h.channel.dim == d as u32)
+                    .count() as u32;
+                assert_eq!(hops, p, "src {:?} dim {d}", t.coords(src));
             }
         }
     }
@@ -365,6 +437,35 @@ mod tests {
     }
 
     #[test]
+    fn generalized_fractions_match_bruteforce_in_3d_and_4d() {
+        for (k, n) in [(3u32, 3u32), (4, 3), (2, 4)] {
+            let t = KAryNCube::unidirectional(k, n).unwrap();
+            let hot = NodeId(t.num_nodes() / 3);
+            let g = HotSpotGeometry::new(t, hot).unwrap();
+            let nodes = t.num_nodes() as f64;
+            for from in t.nodes() {
+                for dim in 0..n {
+                    let c = Channel {
+                        from,
+                        dim,
+                        direction: Direction::Plus,
+                    };
+                    let counted = g.count_hot_sources_crossing(c) as f64 / nodes;
+                    let expected = match g.hot_channel_distance(c) {
+                        Some(j) => g.p_hot(dim, j),
+                        None => 0.0,
+                    };
+                    assert!(
+                        (counted - expected).abs() < 1e-12,
+                        "k={k} n={n} dim={dim} from {:?}: bruteforce {counted} vs {expected}",
+                        t.coords(from)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn non_hot_ring_y_channels_carry_no_hot_traffic() {
         let g = geometry(4, &[2, 2]);
         let t = *g.topology();
@@ -378,6 +479,7 @@ mod tests {
                 direction: Direction::Plus,
             };
             assert_eq!(g.count_hot_sources_crossing(c), 0);
+            assert_eq!(g.hot_channel_distance(c), None);
         }
     }
 
@@ -409,6 +511,25 @@ mod tests {
         // in x, plus Σ_j k(k-j) in y.
         let k = t.k();
         let closed: u32 = (1..=k).map(|j| k * (k - j)).sum::<u32>() * 2;
+        assert_eq!(total_hops, closed);
+    }
+
+    #[test]
+    fn hot_traffic_conservation_generalizes() {
+        // n-dimensional conservation: per dimension the k^{n-1-d} hot rings
+        // carry k^d(k-j) crossings at each of their k positions, so the
+        // closed forms integrate to n·k^{n-1}·Σ_j(k-j) — the total hop
+        // count of all hot routes.
+        let t = KAryNCube::unidirectional(3, 4).unwrap();
+        let hot = NodeId(5);
+        let total_hops: u64 = t
+            .nodes()
+            .filter(|&s| s != hot)
+            .map(|s| t.hop_count(s, hot) as u64)
+            .sum();
+        let k = t.k() as u64;
+        let per_ring: u64 = (1..=k).map(|j| k - j).sum();
+        let closed = t.n() as u64 * k.pow(t.n() - 1) * per_ring;
         assert_eq!(total_hops, closed);
     }
 }

@@ -1,7 +1,9 @@
-//! Property-based tests for the topology substrate.
+//! Property-based tests for the topology substrate: the 2-D cases the
+//! paper analyses, plus the n-dimensional generalization for random
+//! `(k, n)` up to `k = 16`, `n = 4`.
 
 use kncube_topology::hotspot::{DIM_X, DIM_Y};
-use kncube_topology::{Channel, Direction, HotSpotGeometry, KAryNCube, VcClass};
+use kncube_topology::{Channel, Direction, HotSpotGeometry, KAryNCube, NodeId, VcClass};
 use proptest::prelude::*;
 
 /// Strategy over modest unidirectional 2-D tori plus a hot-spot node.
@@ -10,6 +12,27 @@ fn torus_and_hot() -> impl Strategy<Value = (KAryNCube, u32)> {
         let t = KAryNCube::unidirectional(k, 2).unwrap();
         let n = t.num_nodes();
         (Just(t), 0..n)
+    })
+}
+
+/// Strategy over unidirectional k-ary n-cubes (`k <= 16`, `n <= 4`,
+/// bounded to <= 4096 nodes so brute-force oracles stay fast) plus a pair
+/// of node ids.
+fn ncube_and_pair() -> impl Strategy<Value = (KAryNCube, u32, u32)> {
+    (2u32..=16, 1u32..=4).prop_flat_map(|(k, n)| {
+        let k = if (k as u64).pow(n) > 4096 {
+            // Clamp the radix so high dimensions stay enumerable.
+            match n {
+                3 => k.min(8),
+                4 => k.min(6),
+                _ => k,
+            }
+        } else {
+            k
+        };
+        let t = KAryNCube::unidirectional(k, n).unwrap();
+        let nodes = t.num_nodes();
+        (Just(t), 0..nodes, 0..nodes)
     })
 }
 
@@ -86,5 +109,104 @@ proptest! {
                 last_label = Some(label);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // n-dimensional dimension-order routing, random (k, n) up to k=16, n=4.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ndim_hop_count_is_sum_of_per_dimension_ring_offsets((t, a, b) in ncube_and_pair()) {
+        let (a, b) = (NodeId(a), NodeId(b));
+        let per_dim: u32 = (0..t.n())
+            .map(|d| t.ring_distance_forward(t.coord(a, d), t.coord(b, d)))
+            .sum();
+        prop_assert_eq!(t.hop_count(a, b), per_dim);
+        prop_assert_eq!(t.dor_route(a, b).len() as u32, per_dim);
+    }
+
+    #[test]
+    fn ndim_routes_are_minimal_in_the_unidirectional_metric((t, a, b) in ncube_and_pair()) {
+        // Minimality: any walk from a to b over unidirectional ring links
+        // must move at least the forward ring distance in every dimension
+        // (each hop advances exactly one dimension by exactly one forward
+        // step, and dimensions are independent); the dimension-order route
+        // spends exactly that many hops per dimension and no more.
+        let (a, b) = (NodeId(a), NodeId(b));
+        let route = t.dor_route(a, b);
+        for d in 0..t.n() {
+            let needed = t.ring_distance_forward(t.coord(a, d), t.coord(b, d));
+            let spent = route.hops.iter().filter(|h| h.channel.dim == d).count() as u32;
+            prop_assert_eq!(spent, needed, "dim {} of route {:?}→{:?}",
+                d, t.coords(a), t.coords(b));
+        }
+        // And the hops are grouped in ascending dimension order
+        // (deterministic dimension-order discipline).
+        let dims: Vec<u32> = route.hops.iter().map(|h| h.channel.dim).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(dims, sorted);
+    }
+
+    #[test]
+    fn ndim_vc_class_assignment_never_cycles((t, a, b) in ncube_and_pair()) {
+        // Deadlock-freedom invariant in every dimension: once a message
+        // stops needing the wrap-around link of a ring (switches to the
+        // High class) it never returns to the Low class, and the
+        // Dally-Seitz channel labels strictly decrease along the route.
+        let (a, b) = (NodeId(a), NodeId(b));
+        let k = t.k();
+        let route = t.dor_route(a, b);
+        for dim in 0..t.n() {
+            let mut seen_high = false;
+            let mut last_label: Option<u32> = None;
+            for hop in route.hops.iter().filter(|h| h.channel.dim == dim) {
+                match hop.vc_class {
+                    VcClass::High => seen_high = true,
+                    VcClass::Low => prop_assert!(!seen_high,
+                        "Low after High in dim {} of {:?}→{:?}", dim, t.coords(a), t.coords(b)),
+                }
+                let i = t.coord(hop.channel.from, dim);
+                let label = match hop.vc_class {
+                    VcClass::Low => 2 * k - 1 - i,
+                    VcClass::High => k - 1 - i,
+                };
+                if let Some(prev) = last_label {
+                    prop_assert!(label < prev, "label increase {} → {}", prev, label);
+                }
+                last_label = Some(label);
+            }
+        }
+    }
+
+    #[test]
+    fn ndim_incremental_routing_agrees_with_full_route((t, a, b) in ncube_and_pair()) {
+        // The simulator's per-hop routing must replay the closed-form
+        // route hop for hop in any dimension count.
+        let (a, b) = (NodeId(a), NodeId(b));
+        let route = t.dor_route(a, b);
+        let mut cur = a;
+        for hop in &route.hops {
+            let next = t.dor_next_hop(cur, b);
+            prop_assert_eq!(next.as_ref(), Some(hop));
+            cur = hop.channel.to(&t);
+        }
+        prop_assert_eq!(t.dor_next_hop(cur, b), None);
+    }
+
+    #[test]
+    fn ndim_hot_fractions_match_bruteforce((t, hot, from) in ncube_and_pair(), dim in 0u32..4) {
+        // Generalized Eqs. 4-5 against route enumeration on random cubes.
+        prop_assume!(t.num_nodes() <= 1024); // keep the N-route oracle fast
+        let dim = dim % t.n();
+        let g = HotSpotGeometry::new(t, NodeId(hot)).unwrap();
+        let c = Channel { from: NodeId(from), dim, direction: Direction::Plus };
+        let counted = g.count_hot_sources_crossing(c) as f64 / t.num_nodes() as f64;
+        let expected = match g.hot_channel_distance(c) {
+            Some(j) => g.p_hot(dim, j),
+            None => 0.0,
+        };
+        prop_assert!((counted - expected).abs() < 1e-12,
+            "k={} n={} dim={} counted {} expected {}", t.k(), t.n(), dim, counted, expected);
     }
 }

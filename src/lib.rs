@@ -3,23 +3,29 @@
 //! A from-scratch reproduction of *Loucif, Ould-Khaoua & Min, "Analytical
 //! Modelling of Hot-Spot Traffic in Deterministically-Routed K-Ary
 //! N-Cubes", IPDPS 2005*: the first analytical model of mean message
-//! latency for dimension-order wormhole routing in the 2-D unidirectional
-//! torus under Pfister–Norton hot-spot traffic, together with the
-//! flit-level simulator used to validate it.
+//! latency for dimension-order wormhole routing under Pfister–Norton
+//! hot-spot traffic, together with the flit-level simulator used to
+//! validate it — carried at full generality, with radix `k` *and*
+//! dimension count `n` as first-class parameters.  The paper's 2-D
+//! unidirectional torus is the `n = 2` specialization (bit-identical, by
+//! test), and the binary hypercube of its reference \[12\] is the `k = 2`
+//! instance (within `1e-9`, by test — see `tests/cross_validation.rs`).
 //!
 //! This facade re-exports the workspace crates:
 //!
 //! * [`topology`] — k-ary n-cube geometry, dimension-order routing,
-//!   Dally–Seitz virtual-channel classes, hot-spot geometry (Eqs. 4–5);
+//!   Dally–Seitz virtual-channel classes, hot-spot geometry (Eqs. 4–5 and
+//!   their product-over-rings generalization);
 //! * [`traffic`] — Poisson sources and destination patterns (uniform,
 //!   hot-spot, and the classic synthetic suites);
 //! * [`queueing`] — M/G/1 waits, the blocking operator, Dally's
 //!   virtual-channel multiplexing model, fixed-point machinery
 //!   (Eqs. 26–30, 33–35);
-//! * [`model`] — the paper's latency model (Eqs. 1–37) and the
-//!   uniform-traffic baseline;
+//! * [`model`] — the generalized latency model (`NCubeModel`), the
+//!   paper's 2-D API (`HotSpotModel`), the hypercube comparison model and
+//!   the uniform-traffic baseline;
 //! * [`sim`] — the cycle-accurate wormhole simulator (§4's validation
-//!   vehicle).
+//!   vehicle), dimension-agnostic by construction.
 //!
 //! ## Reproduce the paper in three lines
 //!
@@ -40,6 +46,20 @@
 //! let cfg = SimConfig::paper_validation(16, 2, 32, 3e-4, 0.2, 42);
 //! let report = Simulator::new(cfg).unwrap().run();
 //! println!("simulated: {report}");
+//! ```
+//!
+//! ## Beyond the paper: any `(k, n)`
+//!
+//! ```
+//! use kncube::model::{NCubeConfig, NCubeModel};
+//! use kncube::sim::SimConfig;
+//!
+//! // An 8-ary 3-cube (512 nodes) under 20% hot-spot traffic…
+//! let model = NCubeModel::new(NCubeConfig::new(8, 3, 2, 16, 1e-4, 0.2)).unwrap();
+//! assert!(model.solve().unwrap().latency > 16.0);
+//! // …and the matching simulator configuration.
+//! let sim_cfg = SimConfig::ncube(8, 3, 2, 16, 1e-4, 0.2, 42);
+//! assert_eq!(sim_cfg.topology().unwrap().num_nodes(), 512);
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and the reconstruction notes
@@ -79,5 +99,18 @@ mod tests {
         assert!((probs.total() - 1.0).abs() < 1e-12);
         let w = crate::queueing::mg1::waiting_time(0.001, 33.0, 32.0).unwrap();
         assert!(w > 0.0);
+    }
+
+    #[test]
+    fn facade_generalized_entry_points_compose() {
+        // The generalized model and entry families through the facade.
+        for (k, n) in [(4u32, 3u32), (8, 3), (4, 4), (16, 2)] {
+            let cases = crate::model::entry_cases(k, n);
+            let total: f64 = cases.iter().map(|c| c.probability).sum();
+            assert!((total - 1.0).abs() < 1e-12, "k={k} n={n}");
+            let cfg = crate::model::NCubeConfig::new(k, n, 2, 16, 1e-6, 0.2);
+            let out = crate::model::NCubeModel::new(cfg).unwrap().solve().unwrap();
+            assert!(out.latency > 16.0);
+        }
     }
 }
