@@ -52,6 +52,7 @@ fn main() {
     }
     println!();
 
+    let mut cell = 0u32;
     for f in fractions {
         let lambda = f * sat;
         let model = HotSpotModel::new(fig.model_config(lambda))
@@ -63,9 +64,11 @@ fn main() {
         for beta in betas {
             let cfg = SimConfig {
                 arrivals: ArrivalProcess::bursty(lambda, beta, 200.0),
+                seed: kncube_bench::cell_seed(fig.seed, cell),
                 ..fig.sim_config(lambda)
             }
             .with_limits(limits.0, limits.1, limits.2);
+            cell += 1;
             let report = Simulator::new(cfg).unwrap().run();
             if report.saturated {
                 print!(" {:>9}", "SAT");

@@ -35,6 +35,7 @@ fn main() {
     let mut worst: f64 = 0.0;
     let mut worst_hot: f64 = 0.0;
     let mut count = 0u32;
+    let mut cell = 0u32;
     for &k in ks {
         for &v in vs {
             for &lm in lms {
@@ -42,6 +43,8 @@ fn main() {
                     let mut cfg = FigureConfig::paper(lm, h);
                     cfg.k = k;
                     cfg.v = v;
+                    cfg.seed = kncube_bench::cell_seed(cfg.seed, cell);
+                    cell += 1;
                     cfg.sim_limits = if quick {
                         (400_000, 40_000, 10_000)
                     } else {

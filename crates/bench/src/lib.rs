@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use kncube_core::{
     HotSpotModel, ModelConfig, ModelError, ModelOutput, NCubeConfig, NCubeModel, NCubeOutput,
     SaturationError,
@@ -27,6 +29,17 @@ pub fn or_exit<T>(result: Result<T, SaturationError>) -> T {
             std::process::exit(2);
         }
     }
+}
+
+/// Derive the simulator seed for experiment cell `cell` of a sweep from
+/// the binary's base seed, so each cell runs an independent replication
+/// stream instead of re-using one literal seed everywhere.  Cell 0 is the
+/// base seed itself; the derivation is
+/// [`kncube_traffic::replication_seed`], the same one the simulator's
+/// parallel replications use, so a sweep cell can be reproduced as
+/// "replication `cell` of the base configuration".
+pub fn cell_seed(base: u64, cell: u32) -> u64 {
+    kncube_traffic::replication_seed(base, cell)
 }
 
 /// One experimental configuration (a subfigure of the paper).

@@ -20,6 +20,30 @@
 //! credit loop.  Depth 2 (the default) therefore sustains the full one
 //! flit/cycle pipeline the paper's model assumes; depth 1 halves it.
 //!
+//! # State layout (struct of arrays)
+//!
+//! Router state is flat arrays, not an object graph: per-VC counters
+//! (`vc_occ`, `vc_arrived`, `vc_departed`), the VC's holding message
+//! (`vc_msg`) and its chain-stage index (`vc_stage`) are `Vec`s indexed by
+//! `port * V + vc`; per-port state (`port_rr`, `port_busy`, `port_flits`,
+//! worklist membership flags) is indexed by the flat port id.  The
+//! allocation queues are intrusive FIFOs threaded through the message
+//! arena (`wait_head`/`wait_tail` per `(port, class)`, `wait_next` per
+//! message), and message state itself lives in the struct-of-arrays
+//! [`MessageArena`] — so a simulation cycle touches a handful of dense
+//! arrays instead of chasing per-port and per-message heap objects, and
+//! steady-state execution performs no allocation at all.
+//!
+//! Work is driven by explicit worklists, all O(live state) rather than
+//! O(network size): the `active` list holds exactly the ports with at
+//! least one allocated VC (maintained by `grant`/`free_vc` via the
+//! `port_in_active` flag), `pending_alloc` holds the ports whose
+//! allocation queues may be grantable (`port_in_pending`), `ejecting`
+//! holds draining messages, and the arrival heap orders future source
+//! events so fully idle stretches are skipped in O(log N).  Idle channels
+//! are therefore never scanned — at the low-to-mid loads where validation
+//! sweeps live, almost all ports are idle almost always.
+//!
 //! # Cycle phases
 //!
 //! 1. **generate** — Poisson sources emit messages into source queues and
@@ -33,119 +57,111 @@
 //!    messages are retired into the statistics.
 //!
 //! All four phases are deterministic; a run is a pure function of its
-//! configuration (including the seed).
+//! configuration (including the seed).  The struct-of-arrays refactor is
+//! pinned to the original object-graph engine by fixed-seed report
+//! snapshots (`tests/engine_snapshots.rs`): same seed, bit-identical
+//! report.
 
 use crate::config::{EjectionPolicy, SimConfig, SimConfigError};
-use crate::message::{ChainStage, HeadState, Message, MsgId};
+use crate::message::{HeadState, MessageArena, MsgId, NewMessage, NO_MSG};
 use crate::report::SimReport;
 use crate::stats::{BatchMeans, StreamingStats};
 use kncube_topology::{Channel, ChannelId, KAryNCube, NodeId, VcClass};
 use kncube_traffic::{GeneratedMessage, MessageClass, NodeWorkload, WorkloadConfig};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
-/// A virtual channel and its receive buffer.
-#[derive(Clone, Debug, Default)]
-struct Vc {
-    /// Message currently holding this VC.
-    msg: Option<MsgId>,
-    /// Index of this VC's stage within the holder's chain.
-    stage: u32,
-    /// Flits currently buffered.
-    occ: u32,
-    /// Flits that arrived this cycle (not yet eligible to move on).
-    arrived: u32,
-    /// Flits that departed this cycle (their space frees next cycle).
-    departed: u32,
-}
+/// Packed `vc_cnt` fields (16 bits each): `occ`, `arrived`, `departed`,
+/// and the low 16 bits of the cycle the word was last written (its
+/// *stamp*).  `arrived`/`departed` are per-cycle quantities: a reader
+/// treats them as zero whenever the stamp is not the current cycle, which
+/// replaces an explicit end-of-cycle reset pass (there is no "touched"
+/// list to drain).  A periodic sweep (every 2¹⁶ cycles) clears stale
+/// words so a wrapped stamp can never false-match.
+const CNT_OCC: u64 = 1;
+const CNT_ARR: u64 = 1 << 16;
+const CNT_DEP: u64 = 1 << 32;
+const CNT_F: u64 = 0xFFFF;
+/// Everything below the stamp.
+const CNT_MASK: u64 = (1 << 48) - 1;
 
-impl Vc {
-    /// Flits present since the cycle start (eligible to leave).
-    #[inline]
-    fn ready(&self) -> u32 {
-        self.occ - self.arrived
-    }
-
-    /// Occupancy at the start of the cycle (governs admission).
-    #[inline]
-    fn occ_at_cycle_start(&self) -> u32 {
-        self.occ - self.arrived + self.departed
+/// Normalize a counter word read at stamp `stamp`: stale per-cycle fields
+/// read as zero.
+#[inline]
+fn cnt_norm(w: u64, stamp: u64) -> u64 {
+    if w >> 48 == stamp {
+        w
+    } else {
+        w & CNT_F
     }
 }
 
-/// One transmitting port (network channel or injection port).
-#[derive(Clone, Debug)]
-struct Port {
-    vcs: Vec<Vc>,
-    /// FIFO of headers waiting for a VC, per Dally–Seitz class
-    /// (injection ports use class 0 only).
-    waiting: [VecDeque<MsgId>; 2],
-    /// Round-robin cursor over VCs.
-    rr: u32,
-    /// Allocated VCs (kept incrementally; drives the active list and the
-    /// multiplexing measurement).
-    busy: u32,
-    /// Flits transferred (total, for utilization statistics).
-    flits: u64,
-    in_active: bool,
-    in_pending: bool,
+/// `occ` field of a packed count (valid regardless of stamp).
+#[inline]
+fn cnt_occ(w: u64) -> u64 {
+    w & CNT_F
 }
 
-impl Port {
-    fn new(v: u32) -> Self {
-        Port {
-            vcs: vec![Vc::default(); v as usize],
-            waiting: [VecDeque::new(), VecDeque::new()],
-            rr: 0,
-            busy: 0,
-            flits: 0,
-            in_active: false,
-            in_pending: false,
-        }
-    }
+/// Flits eligible to move on: `occ - arrived` (present since cycle
+/// start).  Takes a normalized word.
+#[inline]
+fn cnt_ready(w: u64) -> u64 {
+    (w & CNT_F) - ((w >> 16) & CNT_F)
 }
 
-/// Message slab with free-list reuse.
-#[derive(Default)]
-struct Slab {
-    entries: Vec<Option<Message>>,
-    free: Vec<MsgId>,
-}
-
-impl Slab {
-    fn insert(&mut self, m: Message) -> MsgId {
-        if let Some(id) = self.free.pop() {
-            self.entries[id as usize] = Some(m);
-            id
-        } else {
-            self.entries.push(Some(m));
-            (self.entries.len() - 1) as MsgId
-        }
-    }
-    fn get(&self, id: MsgId) -> &Message {
-        self.entries[id as usize].as_ref().expect("live message")
-    }
-    fn get_mut(&mut self, id: MsgId) -> &mut Message {
-        self.entries[id as usize].as_mut().expect("live message")
-    }
-    fn remove(&mut self, id: MsgId) -> Message {
-        let m = self.entries[id as usize].take().expect("live message");
-        self.free.push(id);
-        m
-    }
-    fn live(&self) -> usize {
-        self.entries.len() - self.free.len()
-    }
+/// Start-of-cycle occupancy: `occ - arrived + departed` (credit-loop
+/// view).  Takes a normalized word.
+#[inline]
+fn cnt_start_occ(w: u64) -> u64 {
+    (w & CNT_F) - ((w >> 16) & CNT_F) + ((w >> 32) & CNT_F)
 }
 
 /// The simulator.
 pub struct Simulator {
     config: SimConfig,
     topo: KAryNCube,
-    ports: Vec<Port>,
+    /// Virtual channels per port (copied out of `config` for indexing).
+    v: u32,
     /// First injection-port index (= number of network channels).
     inj_base: u32,
-    messages: Slab,
+    // --- virtual-channel state, indexed by `port * V + vc` ---
+    /// Holder, chain stage, and flits still to receive, in one word: the
+    /// holding message in bits 0..32 (`NO_MSG` when free), the stage index
+    /// within its chain in bits 32..48, and `remaining = length - entered`
+    /// in bits 48..64 — one load answers "is there anything to move here"
+    /// without touching the message arena at all.
+    vc_slot: Vec<u64>,
+    /// Packed, cycle-stamped per-VC flit accounting: `occ` (flits
+    /// currently buffered), `arrived` (this cycle) and `departed` (this
+    /// cycle) — see the `CNT_*` constants.  A flit arrival is one add of
+    /// `CNT_OCC + CNT_ARR`, a departure one add of `CNT_DEP - CNT_OCC`;
+    /// per-cycle fields expire via the stamp instead of a reset pass.
+    vc_cnt: Vec<u64>,
+    /// Flat index of the previous chain stage's VC (`u32::MAX` for
+    /// injection stages), cached at grant time so the move hot path needs
+    /// no chain lookup to find its upstream buffer.
+    vc_prev: Vec<u32>,
+    // --- per-port state, indexed by the flat port id ---
+    /// Round-robin cursor over VCs.
+    port_rr: Vec<u32>,
+    /// Allocated VCs (kept incrementally; drives the active list and the
+    /// multiplexing measurement).
+    port_busy: Vec<u32>,
+    /// Allocated VCs that still have flits left to receive
+    /// (`entered < length`).  A port with none can move nothing this
+    /// cycle — or any cycle until a new grant — so the move phase skips
+    /// it outright instead of scanning its VCs.
+    port_movable: Vec<u32>,
+    /// Flits transferred (total, for utilization statistics).
+    port_flits: Vec<u64>,
+    port_in_active: Vec<bool>,
+    port_in_pending: Vec<bool>,
+    // --- allocation queues: intrusive FIFO per (port, class), indexed by
+    // `port * 2 + class` (injection ports use class 0 only) ---
+    wait_head: Vec<MsgId>,
+    wait_tail: Vec<MsgId>,
+    wait_len: Vec<u32>,
+    messages: MessageArena,
     workloads: Vec<NodeWorkload>,
     /// Min-heap of (next arrival cycle, node) — generation only touches
     /// nodes that actually have an arrival due, and lets the run loop
@@ -155,13 +171,17 @@ pub struct Simulator {
     active: Vec<u32>,
     /// Ports with waiting headers that may be grantable.
     pending_alloc: Vec<u32>,
-    /// Buffers touched this cycle (for resetting per-cycle counters).
-    touched: Vec<(u32, u32)>,
+    /// Scratch list swapped with `pending_alloc` each allocation pass so
+    /// no cycle allocates.
+    pending_scratch: Vec<u32>,
     /// Messages draining at their destination.
     ejecting: Vec<MsgId>,
     /// Scratch buffer for generated messages.
     gen_scratch: Vec<GeneratedMessage>,
     cycle: u64,
+    /// Next cycle at which stale `vc_cnt` stamps must be swept (so a
+    /// wrapped 16-bit stamp can never alias a current cycle).
+    next_sweep: u64,
     last_progress: u64,
     // --- statistics ---
     generated: u64,
@@ -170,10 +190,19 @@ pub struct Simulator {
     latency_regular: StreamingStats,
     latency_hot: StreamingStats,
     batches: BatchMeans,
-    /// Σv over busy network channels and cycles (v = busy VCs).
-    vbar_sum_v: f64,
-    /// Σv² over the same — Dally's V̄ is the flit-weighted ratio Σv²/Σv.
-    vbar_sum_v2: f64,
+    /// Current Σv over network channels (v = busy VCs), maintained
+    /// incrementally by `grant`/`free_vc` so the per-cycle measurement is
+    /// O(1) instead of a scan of the active list.
+    busy_v: u64,
+    /// Current Σv² over network channels.
+    busy_v2: u64,
+    /// Σv over busy network channels and measured cycles.  Every addend
+    /// is a small integer, so the u64 total converts to the same f64 the
+    /// original per-port f64 accumulation produced (both are exact below
+    /// 2⁵³) — Dally's V̄ is the flit-weighted ratio Σv²/Σv.
+    vbar_total_v: u64,
+    /// Σv² over the same.
+    vbar_total_v2: u64,
     measured_flits_ejected: u64,
     max_queue_seen: usize,
     saturated: bool,
@@ -192,9 +221,9 @@ impl Simulator {
         let topo = config.topology()?;
         let n_nodes = topo.num_nodes();
         let n_channels = topo.num_channels();
-        let ports = (0..n_channels + n_nodes)
-            .map(|_| Port::new(config.virtual_channels))
-            .collect();
+        let n_ports = (n_channels + n_nodes) as usize;
+        let v = config.virtual_channels;
+        let n_vcs = n_ports * v as usize;
         let wl_config = WorkloadConfig {
             arrivals: config.arrivals,
             pattern: config.pattern,
@@ -214,20 +243,43 @@ impl Simulator {
         } else {
             1_000
         };
+        // Longest chain: the injection stage plus one stage per hop of the
+        // longest dimension-order route (`k - 1` hops per dimension).
+        let max_chain = topo.n() * (topo.k() - 1) + 1;
+        // The packed VC words hold lengths, stages and buffer counts in
+        // 16-bit fields.
+        assert!(
+            config.message_length < (1 << 16) && config.buffer_depth < (1 << 16),
+            "message length and buffer depth must fit 16 bits"
+        );
+        assert!(max_chain < (1 << 16), "chain stages must fit 16 bits");
         Ok(Simulator {
             config,
             topo,
-            ports,
+            v,
             inj_base: n_channels,
-            messages: Slab::default(),
+            vc_slot: vec![NO_MSG as u64; n_vcs],
+            vc_cnt: vec![0; n_vcs],
+            vc_prev: vec![u32::MAX; n_vcs],
+            port_rr: vec![0; n_ports],
+            port_busy: vec![0; n_ports],
+            port_movable: vec![0; n_ports],
+            port_flits: vec![0; n_ports],
+            port_in_active: vec![false; n_ports],
+            port_in_pending: vec![false; n_ports],
+            wait_head: vec![NO_MSG; n_ports * 2],
+            wait_tail: vec![NO_MSG; n_ports * 2],
+            wait_len: vec![0; n_ports * 2],
+            messages: MessageArena::new(max_chain),
             workloads,
             arrival_heap,
             active: Vec::new(),
             pending_alloc: Vec::new(),
-            touched: Vec::new(),
+            pending_scratch: Vec::new(),
             ejecting: Vec::new(),
             gen_scratch: Vec::new(),
             cycle: 0,
+            next_sweep: 1 << 16,
             last_progress: 0,
             generated: 0,
             completed_measured: 0,
@@ -235,8 +287,10 @@ impl Simulator {
             latency_regular: StreamingStats::new(),
             latency_hot: StreamingStats::new(),
             batches: BatchMeans::new(config.batches, per_batch),
-            vbar_sum_v: 0.0,
-            vbar_sum_v2: 0.0,
+            busy_v: 0,
+            busy_v2: 0,
+            vbar_total_v: 0,
+            vbar_total_v2: 0,
             measured_flits_ejected: 0,
             max_queue_seen: 0,
             saturated: false,
@@ -256,12 +310,18 @@ impl Simulator {
 
     /// Messages currently in flight (including source queues).
     pub fn in_flight(&self) -> usize {
-        self.messages.live()
+        self.messages.live_count()
     }
 
     /// The injection-port index of `node`.
     fn inj_port(&self, node: NodeId) -> u32 {
         self.inj_base + node.0
+    }
+
+    /// Flat VC-state index of `(port, vc)`.
+    #[inline]
+    fn pv(&self, port: u32, vc: u32) -> usize {
+        (port * self.v + vc) as usize
     }
 
     /// The node that receives flits crossing `port`.
@@ -275,7 +335,7 @@ impl Simulator {
 
     /// VC indices `[lo, hi)` of `class` on a network port.
     fn class_range(&self, class: usize) -> (u32, u32) {
-        let v = self.config.virtual_channels;
+        let v = self.v;
         let high = high_class_size(v);
         if class == 0 {
             (0, high)
@@ -305,18 +365,13 @@ impl Simulator {
         }
         for gm in scratch.drain(..) {
             let measured = gm.birth_cycle >= self.config.warmup_cycles;
-            let id = self.messages.insert(Message {
+            let id = self.messages.insert(NewMessage {
                 src: gm.src,
                 dest: gm.dest,
                 class: gm.class,
                 length: gm.length,
                 birth: gm.birth_cycle,
                 measured,
-                chain: Vec::with_capacity(8),
-                ejected: 0,
-                head: HeadState::WaitingFor {
-                    port: self.inj_port(gm.src),
-                },
             });
             self.generated += 1;
             let port = self.inj_port(gm.src);
@@ -326,12 +381,42 @@ impl Simulator {
     }
 
     fn enqueue_request(&mut self, id: MsgId, port: u32, class: usize) {
-        self.ports[port as usize].waiting[class].push_back(id);
-        self.messages.get_mut(id).head = HeadState::WaitingFor { port };
-        if !self.ports[port as usize].in_pending {
-            self.ports[port as usize].in_pending = true;
+        let q = port as usize * 2 + class;
+        self.messages.wait_next[id as usize] = NO_MSG;
+        let tail = self.wait_tail[q];
+        if tail == NO_MSG {
+            self.wait_head[q] = id;
+        } else {
+            self.messages.wait_next[tail as usize] = id;
+        }
+        self.wait_tail[q] = id;
+        self.wait_len[q] += 1;
+        self.messages.head[id as usize] = HeadState::WaitingFor { port };
+        if !self.port_in_pending[port as usize] {
+            self.port_in_pending[port as usize] = true;
             self.pending_alloc.push(port);
         }
+    }
+
+    /// Pop the FIFO head of allocation queue `q` (which must be
+    /// non-empty).
+    fn pop_waiting(&mut self, q: usize) -> MsgId {
+        let id = self.wait_head[q];
+        debug_assert_ne!(id, NO_MSG, "pop from empty allocation queue");
+        let next = self.messages.wait_next[id as usize];
+        self.wait_head[q] = next;
+        if next == NO_MSG {
+            self.wait_tail[q] = NO_MSG;
+        }
+        self.wait_len[q] -= 1;
+        id
+    }
+
+    /// Waiting headers on `port`, over both classes.
+    #[inline]
+    fn port_waiting(&self, port: u32) -> u32 {
+        let q = port as usize * 2;
+        self.wait_len[q] + self.wait_len[q + 1]
     }
 
     // ------------------------------------------------------------------
@@ -339,78 +424,86 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn allocate(&mut self) {
-        let mut pending = std::mem::take(&mut self.pending_alloc);
-        let mut still_pending = Vec::with_capacity(pending.len());
+        // Swap the two persistent lists: drain last cycle's pending set,
+        // refill `pending_alloc` with the still-blocked survivors.
+        std::mem::swap(&mut self.pending_alloc, &mut self.pending_scratch);
+        debug_assert!(self.pending_alloc.is_empty());
+        let mut pending = std::mem::take(&mut self.pending_scratch);
         for port_idx in pending.drain(..) {
             let is_injection = port_idx >= self.inj_base;
             for class in 0..2 {
                 let (lo, hi) = if is_injection {
-                    (0, self.config.virtual_channels)
+                    (0, self.v)
                 } else {
                     self.class_range(class)
                 };
-                while !self.ports[port_idx as usize].waiting[class].is_empty() {
-                    let Some(vc_idx) = (lo..hi)
-                        .find(|&v| self.ports[port_idx as usize].vcs[v as usize].msg.is_none())
+                let q = port_idx as usize * 2 + class;
+                while self.wait_len[q] > 0 {
+                    let base = (port_idx * self.v) as usize;
+                    let Some(vc_idx) =
+                        (lo..hi).find(|&v| self.vc_slot[base + v as usize] as u32 == NO_MSG)
                     else {
                         break;
                     };
-                    let id = self.ports[port_idx as usize].waiting[class]
-                        .pop_front()
-                        .expect("non-empty checked");
+                    let id = self.pop_waiting(q);
                     self.grant(id, port_idx, vc_idx);
                 }
                 if is_injection {
                     break; // injection uses class 0 only
                 }
             }
-            let port = &mut self.ports[port_idx as usize];
-            if port.waiting.iter().any(|q| !q.is_empty()) {
+            if self.port_waiting(port_idx) > 0 {
                 // Still blocked on a busy class; re-examined when a VC of
                 // this port frees.
-                still_pending.push(port_idx);
+                self.pending_alloc.push(port_idx);
             } else {
-                port.in_pending = false;
+                self.port_in_pending[port_idx as usize] = false;
             }
         }
-        // Re-set flags for carried-over entries (they stayed pending).
-        for &p in &still_pending {
-            self.ports[p as usize].in_pending = true;
-        }
-        self.pending_alloc = still_pending;
+        self.pending_scratch = pending;
     }
 
     fn grant(&mut self, id: MsgId, port_idx: u32, vc_idx: u32) {
-        let msg = self.messages.get_mut(id);
-        let stage = msg.chain.len() as u32;
-        msg.chain.push(ChainStage {
-            port: port_idx,
-            vc: vc_idx,
-            entered: 0,
-        });
-        msg.head = HeadState::Crossing;
-        let port = &mut self.ports[port_idx as usize];
-        let vc = &mut port.vcs[vc_idx as usize];
-        debug_assert!(vc.msg.is_none());
-        vc.msg = Some(id);
-        vc.stage = stage;
-        port.busy += 1;
-        if !port.in_active {
-            port.in_active = true;
+        let stage = self.messages.push_stage(id, port_idx, vc_idx);
+        self.messages.head[id as usize] = HeadState::Crossing;
+        let pv = self.pv(port_idx, vc_idx);
+        debug_assert_eq!(self.vc_slot[pv] as u32, NO_MSG);
+        let length = self.messages.length[id as usize];
+        self.vc_slot[pv] = (length as u64) << 48 | (stage as u64) << 32 | id as u64;
+        self.vc_prev[pv] = if stage == 0 {
+            u32::MAX
+        } else {
+            let prev = self.messages.chain[self.messages.chain_base(id) + stage as usize - 1];
+            self.pv(prev.port, prev.vc) as u32
+        };
+        let busy = self.port_busy[port_idx as usize] + 1;
+        self.port_busy[port_idx as usize] = busy;
+        self.port_movable[port_idx as usize] += 1;
+        if port_idx < self.inj_base {
+            // Incremental Σv / Σv² over network channels.
+            self.busy_v += 1;
+            self.busy_v2 += (2 * busy - 1) as u64;
+        }
+        if !self.port_in_active[port_idx as usize] {
+            self.port_in_active[port_idx as usize] = true;
             self.active.push(port_idx);
         }
     }
 
-    /// Free the VC of `stage` (its buffer must be empty).
-    fn free_vc(&mut self, stage: ChainStage) {
-        let port = &mut self.ports[stage.port as usize];
-        let vc = &mut port.vcs[stage.vc as usize];
-        debug_assert_eq!(vc.occ, 0);
-        vc.msg = None;
-        port.busy -= 1;
-        if port.waiting.iter().any(|q| !q.is_empty()) && !port.in_pending {
-            port.in_pending = true;
-            self.pending_alloc.push(stage.port);
+    /// Free the VC `(port, vc)` (its buffer must be empty).
+    fn free_vc(&mut self, port: u32, vc: u32) {
+        let pv = self.pv(port, vc);
+        debug_assert_eq!(cnt_occ(self.vc_cnt[pv]), 0);
+        self.vc_slot[pv] = NO_MSG as u64;
+        let busy = self.port_busy[port as usize] - 1;
+        self.port_busy[port as usize] = busy;
+        if port < self.inj_base {
+            self.busy_v -= 1;
+            self.busy_v2 -= (2 * busy + 1) as u64;
+        }
+        if self.port_waiting(port) > 0 && !self.port_in_pending[port as usize] {
+            self.port_in_pending[port as usize] = true;
+            self.pending_alloc.push(port);
         }
     }
 
@@ -419,7 +512,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn move_flits(&mut self) {
-        let cap = self.config.buffer_depth;
+        let cap = self.config.buffer_depth as u64;
         // Iterate a snapshot: ports becoming active this cycle (they can't
         // move flits yet anyway — their buffers' flits arrive this cycle)
         // are picked up next cycle.
@@ -427,12 +520,18 @@ impl Simulator {
         while idx < self.active.len() {
             let port_idx = self.active[idx];
             idx += 1;
-            let v = self.ports[port_idx as usize].vcs.len() as u32;
-            let rr = self.ports[port_idx as usize].rr;
+            if self.port_movable[port_idx as usize] == 0 {
+                // Every allocated VC is fully transferred: nothing can
+                // move here until a fresh grant, and skipping has no
+                // observable effect (a scan would find no movable flit).
+                continue;
+            }
+            let v = self.v;
+            let rr = self.port_rr[port_idx as usize];
             for off in 0..v {
                 let vc_idx = (rr + off) % v;
                 if self.try_move(port_idx, vc_idx, cap) {
-                    self.ports[port_idx as usize].rr = (vc_idx + 1) % v;
+                    self.port_rr[port_idx as usize] = (vc_idx + 1) % v;
                     break;
                 }
             }
@@ -441,62 +540,64 @@ impl Simulator {
 
     /// Attempt to move one flit of the message on `(port, vc)` across the
     /// port; returns whether a flit moved.
-    fn try_move(&mut self, port_idx: u32, vc_idx: u32, cap: u32) -> bool {
-        let Some(id) = self.ports[port_idx as usize].vcs[vc_idx as usize].msg else {
+    fn try_move(&mut self, port_idx: u32, vc_idx: u32, cap: u64) -> bool {
+        let pv = self.pv(port_idx, vc_idx);
+        let slot = self.vc_slot[pv];
+        let id = slot as u32;
+        if id == NO_MSG {
             return false;
-        };
-        let stage_idx = self.ports[port_idx as usize].vcs[vc_idx as usize].stage as usize;
-        let msg = self.messages.get(id);
-        let stage = msg.chain[stage_idx];
-        debug_assert_eq!((stage.port, stage.vc), (port_idx, vc_idx));
-        if stage.entered >= msg.length {
+        }
+        let rem = (slot >> 48) as u32;
+        if rem == 0 {
             return false; // fully transferred; waiting for downstream drain
         }
-        // Upstream flit available since cycle start?
-        if stage_idx == 0 {
-            // Source queue: all not-yet-injected flits are available.
-            debug_assert!(msg.flits_at_source() > 0);
-        } else {
-            let prev = msg.chain[stage_idx - 1];
-            let prev_vc = &self.ports[prev.port as usize].vcs[prev.vc as usize];
-            debug_assert_eq!(prev_vc.msg, Some(id));
-            if prev_vc.ready() == 0 {
+        let stamp = self.cycle & 0xFFFF;
+        // Upstream flit available since cycle start?  (For injection
+        // stages — no upstream VC — all not-yet-injected flits are.)
+        let prev_pv = self.vc_prev[pv] as usize;
+        let mut w_prev = 0;
+        if prev_pv != u32::MAX as usize {
+            debug_assert_eq!(self.vc_slot[prev_pv] as u32, id);
+            w_prev = cnt_norm(self.vc_cnt[prev_pv], stamp);
+            if cnt_ready(w_prev) == 0 {
                 return false;
             }
         }
         // Space in this VC's buffer (start-of-cycle occupancy rule)?
-        {
-            let vc = &self.ports[port_idx as usize].vcs[vc_idx as usize];
-            if vc.occ_at_cycle_start() >= cap {
-                return false;
-            }
+        let w = cnt_norm(self.vc_cnt[pv], stamp);
+        if cnt_start_occ(w) >= cap {
+            return false;
         }
         // --- Commit the move.
-        let msg = self.messages.get_mut(id);
-        msg.chain[stage_idx].entered += 1;
-        let entered = msg.chain[stage_idx].entered;
-        let length = msg.length;
-        let is_head_arrival = entered == 1 && stage_idx + 1 == msg.chain.len();
-        let prev_stage = if stage_idx > 0 {
-            Some(msg.chain[stage_idx - 1])
-        } else {
-            None
-        };
-        {
-            let vc = &mut self.ports[port_idx as usize].vcs[vc_idx as usize];
-            vc.occ += 1;
-            vc.arrived += 1;
+        let stage_idx = ((slot >> 32) & 0xFFFF) as usize;
+        let length = self.messages.length[id as usize];
+        let base = self.messages.chain_base(id);
+        debug_assert_eq!(
+            (
+                self.messages.chain[base + stage_idx].port,
+                self.messages.chain[base + stage_idx].vc,
+                length - self.messages.chain[base + stage_idx].entered,
+            ),
+            (port_idx, vc_idx, rem)
+        );
+        let entered = length - rem + 1;
+        self.messages.chain[base + stage_idx].entered = entered;
+        self.vc_slot[pv] = slot - (1 << 48);
+        if rem == 1 {
+            // This VC has now received every flit; it can never move one
+            // in again.
+            self.port_movable[port_idx as usize] -= 1;
         }
-        self.touched.push((port_idx, vc_idx));
-        self.ports[port_idx as usize].flits += 1;
-        if let Some(prev) = prev_stage {
-            let prev_vc = &mut self.ports[prev.port as usize].vcs[prev.vc as usize];
-            prev_vc.occ -= 1;
-            prev_vc.departed += 1;
-            self.touched.push((prev.port, prev.vc));
-            if entered == length {
+        let is_head_arrival =
+            entered == 1 && stage_idx as u32 + 1 == self.messages.chain_len[id as usize];
+        self.vc_cnt[pv] = (w + (CNT_OCC + CNT_ARR)) & CNT_MASK | stamp << 48;
+        self.port_flits[port_idx as usize] += 1;
+        if prev_pv != u32::MAX as usize {
+            self.vc_cnt[prev_pv] = (w_prev + (CNT_DEP - CNT_OCC)) & CNT_MASK | stamp << 48;
+            if rem == 1 {
                 // The tail just left the previous stage: release it.
-                self.free_vc(prev);
+                let prev = self.messages.chain[base + stage_idx - 1];
+                self.free_vc(prev.port, prev.vc);
             }
         }
         self.last_progress = self.cycle;
@@ -509,9 +610,9 @@ impl Simulator {
     /// The header landed in the buffer at the sink of `port`: route it.
     fn on_head_arrival(&mut self, id: MsgId, port_idx: u32) {
         let node = self.port_sink(port_idx);
-        let dest = self.messages.get(id).dest;
+        let dest = self.messages.dest[id as usize];
         if node == dest {
-            self.messages.get_mut(id).head = HeadState::Ejecting;
+            self.messages.head[id as usize] = HeadState::Ejecting;
             self.ejecting.push(id);
             return;
         }
@@ -537,7 +638,7 @@ impl Simulator {
                 let mut i = 0;
                 while i < self.ejecting.len() {
                     let id = self.ejecting[i];
-                    if self.try_eject_one(id) && self.messages.get(id).is_delivered() {
+                    if self.try_eject_one(id) && self.messages.is_delivered(id) {
                         self.complete(id);
                         self.ejecting.swap_remove(i);
                     } else {
@@ -552,14 +653,14 @@ impl Simulator {
                 let mut i = 0;
                 while i < self.ejecting.len() {
                     let id = self.ejecting[i];
-                    let dest = self.messages.get(id).dest;
+                    let dest = self.messages.dest[id as usize];
                     if served.contains(&dest) {
                         i += 1;
                         continue;
                     }
                     if self.try_eject_one(id) {
                         served.push(dest);
-                        if self.messages.get(id).is_delivered() {
+                        if self.messages.is_delivered(id) {
                             self.complete(id);
                             self.ejecting.swap_remove(i);
                             continue;
@@ -578,44 +679,42 @@ impl Simulator {
 
     /// Deliver one flit of `id` to the PE if one is ready.
     fn try_eject_one(&mut self, id: MsgId) -> bool {
-        let msg = self.messages.get(id);
-        let last = *msg.chain.last().expect("ejecting message has a chain");
-        let measured = msg.measured;
-        let ready = self.ports[last.port as usize].vcs[last.vc as usize].ready();
-        if ready == 0 {
+        let i = id as usize;
+        let chain_len = self.messages.chain_len[i] as usize;
+        debug_assert!(chain_len > 0, "ejecting message has a chain");
+        let last = self.messages.chain[self.messages.chain_base(id) + chain_len - 1];
+        let pv = self.pv(last.port, last.vc);
+        let stamp = self.cycle & 0xFFFF;
+        let w = cnt_norm(self.vc_cnt[pv], stamp);
+        if cnt_ready(w) == 0 {
             return false;
         }
-        {
-            let vc = &mut self.ports[last.port as usize].vcs[last.vc as usize];
-            vc.occ -= 1;
-            vc.departed += 1;
-        }
-        self.touched.push((last.port, last.vc));
-        let msg = self.messages.get_mut(id);
-        msg.ejected += 1;
-        if measured {
+        self.vc_cnt[pv] = (w + (CNT_DEP - CNT_OCC)) & CNT_MASK | stamp << 48;
+        self.messages.ejected[i] += 1;
+        if self.messages.measured[i] {
             self.measured_flits_ejected += 1;
         }
         self.last_progress = self.cycle;
-        if self.messages.get(id).is_delivered() {
-            self.free_vc(last);
+        if self.messages.is_delivered(id) {
+            self.free_vc(last.port, last.vc);
         }
         true
     }
 
     fn complete(&mut self, id: MsgId) {
-        let msg = self.messages.remove(id);
-        debug_assert!(msg.is_delivered());
-        if msg.measured {
-            let latency = msg.latency_at(self.cycle) as f64;
+        debug_assert!(self.messages.is_delivered(id));
+        let i = id as usize;
+        if self.messages.measured[i] {
+            let latency = self.messages.latency_at(id, self.cycle) as f64;
             self.completed_measured += 1;
             self.latency_all.push(latency);
             self.batches.push(latency);
-            match msg.class {
+            match self.messages.class[i] {
                 MessageClass::Regular => self.latency_regular.push(latency),
                 MessageClass::HotSpot => self.latency_hot.push(latency),
             }
         }
+        self.messages.remove(id);
     }
 
     // ------------------------------------------------------------------
@@ -624,32 +723,33 @@ impl Simulator {
 
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
-        // Reset per-cycle buffer accounting from the previous cycle.
-        for (p, v) in self.touched.drain(..) {
-            let vc = &mut self.ports[p as usize].vcs[v as usize];
-            vc.arrived = 0;
-            vc.departed = 0;
+        // Periodic stamp sweep: clear per-cycle fields everywhere so a
+        // wrapped 16-bit stamp can never alias the current cycle.  Runs
+        // once per 2¹⁶ cycles — amortized noise.
+        if self.cycle >= self.next_sweep {
+            for w in &mut self.vc_cnt {
+                *w &= CNT_F;
+            }
+            self.next_sweep = (self.cycle | 0xFFFF) + 1;
         }
         self.generate();
         self.allocate();
         self.move_flits();
         self.eject();
         // Multiplexing measurement (after warm-up): average busy VCs over
-        // busy physical channels, the quantity Eqs. (33)-(35) model.
+        // busy physical channels, the quantity Eqs. (33)-(35) model.  The
+        // Σv / Σv² snapshot is maintained incrementally by grant/free_vc,
+        // so sampling it is O(1) per cycle.
         if self.cycle >= self.config.warmup_cycles {
-            for &p in &self.active {
-                let busy = self.ports[p as usize].busy;
-                if busy > 0 && p < self.inj_base {
-                    self.vbar_sum_v += busy as f64;
-                    self.vbar_sum_v2 += (busy * busy) as f64;
-                }
-            }
+            self.vbar_total_v += self.busy_v;
+            self.vbar_total_v2 += self.busy_v2;
         }
-        // Compact the active list.
+        // Compact the active worklist: drop ports that went idle.
+        let port_busy = &self.port_busy;
+        let port_in_active = &mut self.port_in_active;
         self.active.retain(|&p| {
-            let port = &mut self.ports[p as usize];
-            if port.busy == 0 {
-                port.in_active = false;
+            if port_busy[p as usize] == 0 {
+                port_in_active[p as usize] = false;
                 false
             } else {
                 true
@@ -661,14 +761,9 @@ impl Simulator {
     /// Periodic health checks; returns false when the run should stop.
     fn healthy(&mut self) -> bool {
         if self.config.max_source_queue > 0 {
-            let worst = (self.inj_base..self.inj_base + self.topo.num_nodes())
-                .map(|p| {
-                    self.ports[p as usize]
-                        .waiting
-                        .iter()
-                        .map(VecDeque::len)
-                        .sum::<usize>()
-                })
+            let n_ports = self.port_busy.len() as u32;
+            let worst = (self.inj_base..n_ports)
+                .map(|p| self.port_waiting(p) as usize)
                 .max()
                 .unwrap_or(0);
             self.max_queue_seen = self.max_queue_seen.max(worst);
@@ -679,7 +774,7 @@ impl Simulator {
         }
         // Deadlock watchdog: in-flight messages but no flit movement for a
         // long stretch cannot happen in a correct deadlock-free network.
-        if self.messages.live() > 0
+        if self.messages.live_count() > 0
             && self.cycle - self.last_progress > 10_000 + 100 * self.config.message_length as u64
         {
             self.deadlocked = true;
@@ -694,7 +789,7 @@ impl Simulator {
         while self.cycle < self.config.max_cycles {
             // Fast-forward across fully idle stretches: with nothing in
             // flight, nothing can happen until the next arrival.
-            if self.messages.live() == 0 {
+            if self.messages.live_count() == 0 {
                 match self.arrival_heap.peek() {
                     Some(&Reverse((next, _))) if next > self.cycle => {
                         self.cycle = next.min(self.config.max_cycles);
@@ -748,13 +843,13 @@ impl Simulator {
                 0.0
             },
             offered_load: self.config.arrivals.rate(),
-            vbar_measured: if self.vbar_sum_v > 0.0 {
-                self.vbar_sum_v2 / self.vbar_sum_v
+            vbar_measured: if self.vbar_total_v > 0 {
+                self.vbar_total_v2 as f64 / self.vbar_total_v as f64
             } else {
                 1.0
             },
             max_source_queue: self.max_queue_seen,
-            in_flight_at_end: self.messages.live() as u64,
+            in_flight_at_end: self.messages.live_count() as u64,
             saturated: self.saturated,
             deadlocked: self.deadlocked,
         }
@@ -771,7 +866,7 @@ impl Simulator {
     /// tests use this hook.
     pub fn channel_flits(&self, channel: kncube_topology::ChannelId) -> u64 {
         assert!(channel.0 < self.inj_base, "network channels only");
-        self.ports[channel.index()].flits
+        self.port_flits[channel.index()]
     }
 
     /// The topology being simulated.
@@ -783,35 +878,42 @@ impl Simulator {
     /// still at sources and flits delivered — must always equal
     /// `Σ length` over live messages plus delivered flits (conservation).
     pub fn flit_conservation_check(&self) -> bool {
-        for (id, entry) in self.messages.entries.iter().enumerate() {
-            let Some(entry) = entry else { continue };
-            let mut accounted = entry.flits_at_source() + entry.ejected;
-            for i in 0..entry.chain.len() {
-                accounted += entry.stage_occupancy(i);
+        for id in 0..self.messages.capacity() as MsgId {
+            if !self.messages.live[id as usize] {
+                continue;
             }
-            if accounted != entry.length {
+            let length = self.messages.length[id as usize];
+            let chain = self.messages.chain(id);
+            let mut accounted =
+                self.messages.flits_at_source(id) + self.messages.ejected[id as usize];
+            for i in 0..chain.len() {
+                accounted += self.messages.stage_occupancy(id, i);
+            }
+            if accounted != length {
                 return false;
             }
             // Per-stage entered counts must be monotone along the chain.
-            for w in entry.chain.windows(2) {
+            for w in chain.windows(2) {
                 if w[1].entered > w[0].entered {
                     return false;
                 }
             }
             // Stages that still hold their VC (the next stage has not seen
             // the tail yet) must agree with the VC-side accounting.
-            for (i, stage) in entry.chain.iter().enumerate() {
-                let released = match entry.chain.get(i + 1) {
-                    Some(next) => next.entered == entry.length,
-                    None => entry.ejected == entry.length,
+            for (i, stage) in chain.iter().enumerate() {
+                let released = match chain.get(i + 1) {
+                    Some(next) => next.entered == length,
+                    None => self.messages.ejected[id as usize] == length,
                 };
                 if released {
                     continue;
                 }
-                let vc = &self.ports[stage.port as usize].vcs[stage.vc as usize];
-                if vc.msg != Some(id as MsgId)
-                    || vc.stage as usize != i
-                    || vc.occ != entry.stage_occupancy(i)
+                let pv = self.pv(stage.port, stage.vc);
+                let slot = self.vc_slot[pv];
+                if slot as u32 != id
+                    || ((slot >> 32) & 0xFFFF) as usize != i
+                    || (slot >> 48) as u32 != self.messages.length[id as usize] - stage.entered
+                    || cnt_occ(self.vc_cnt[pv]) != self.messages.stage_occupancy(id, i) as u64
                 {
                     return false;
                 }
@@ -845,23 +947,20 @@ mod tests {
         let mut sim = Simulator::new(cfg).unwrap();
         let src = topo.node_at(src);
         let dest = topo.node_at(dest);
-        let id = sim.messages.insert(Message {
+        let id = sim.messages.insert(NewMessage {
             src,
             dest,
             class: MessageClass::Regular,
             length: lm,
             birth: 0,
             measured: false,
-            chain: Vec::new(),
-            ejected: 0,
-            head: HeadState::WaitingFor { port: 0 },
         });
         let inj = sim.inj_port(src);
         sim.enqueue_request(id, inj, 0);
         for _ in 0..10_000 {
             sim.step();
             assert!(sim.flit_conservation_check());
-            if sim.messages.entries[id as usize].is_none() {
+            if !sim.messages.live[id as usize] {
                 // Completed during the previous cycle; latency recorded at
                 // completion time = cycle - 1 (step increments afterwards).
                 return sim.cycle();

@@ -52,10 +52,12 @@
 pub mod config;
 pub mod engine;
 pub mod message;
+pub mod replicate;
 pub mod report;
 pub mod stats;
 
 pub use config::{EjectionPolicy, SimConfig, SimConfigError};
 pub use engine::Simulator;
+pub use replicate::{run_replications, run_replications_serial, ReplicatedReport};
 pub use report::SimReport;
 pub use stats::{BatchMeans, StreamingStats};

@@ -1,0 +1,203 @@
+//! Independent replications, run in parallel.
+//!
+//! A single run's batch-means interval is only as good as its batch
+//! count; independent replications tighten it for free on a multicore
+//! host: each replication re-runs the same configuration under a seed
+//! derived by [`kncube_traffic::replication_seed`] (replication 0 *is*
+//! the master seed), and the per-replication reports are pooled.
+//!
+//! Determinism is preserved per replication — each run is still a pure
+//! function of `(config, derived seed)` — and the pooling is performed on
+//! the reports **in replication order**, so the combined result is
+//! bit-identical no matter how the replications were scheduled across
+//! threads.  [`run_replications`] (rayon) and [`run_replications_serial`]
+//! therefore produce identical [`ReplicatedReport`]s; a property test
+//! pins this.
+
+use crate::config::{SimConfig, SimConfigError};
+use crate::engine::Simulator;
+use crate::report::SimReport;
+use crate::stats::{BatchMeans, StreamingStats};
+use kncube_traffic::replication_seed;
+use rayon::prelude::*;
+
+/// Pooled result of `R` independent replications.
+#[derive(Clone, Debug)]
+pub struct ReplicatedReport {
+    /// Per-replication reports, in replication (seed) order.
+    pub reports: Vec<SimReport>,
+    /// The derived seed of each replication.
+    pub seeds: Vec<u64>,
+    /// Measured messages completed, over all replications.
+    pub completed: u64,
+    /// All messages generated, over all replications.
+    pub generated: u64,
+    /// Total cycles simulated across replications.
+    pub cycles: u64,
+    /// Pooled mean latency (weighted by per-replication completions).
+    pub mean_latency: f64,
+    /// Pooled sample standard deviation of the measured latencies.
+    pub latency_std_dev: f64,
+    /// Largest measured latency across replications.
+    pub max_latency: f64,
+    /// 95% Student-t confidence half-width of the mean latency computed
+    /// across the replication means — the replication analogue of the
+    /// single-run batch-means interval (`None` with fewer than two
+    /// completing replications).
+    pub ci_half_width: Option<f64>,
+    /// Mean per-replication throughput (messages per node per cycle).
+    pub throughput: f64,
+    /// Completion-weighted mean of the measured multiplexing degrees.
+    pub vbar_measured: f64,
+    /// Any replication hit the saturation guard.
+    pub saturated: bool,
+    /// Any replication tripped the deadlock watchdog.
+    pub deadlocked: bool,
+}
+
+/// Pool per-replication reports (in replication order) into a
+/// [`ReplicatedReport`].  Shared by the parallel and serial drivers so
+/// the two cannot drift apart.
+fn combine(reports: Vec<SimReport>, seeds: Vec<u64>) -> ReplicatedReport {
+    let mut pooled = StreamingStats::new();
+    let mut across = BatchMeans::new(reports.len().max(1) as u32, 1);
+    let mut vbar_weighted = 0.0;
+    for r in &reports {
+        pooled.merge(&StreamingStats::from_moments(
+            r.completed,
+            r.mean_latency,
+            r.latency_std_dev * r.latency_std_dev,
+            r.max_latency,
+        ));
+        if r.completed > 0 {
+            across.push(r.mean_latency);
+            vbar_weighted += r.vbar_measured * r.completed as f64;
+        }
+    }
+    let n = reports.len().max(1) as f64;
+    ReplicatedReport {
+        completed: reports.iter().map(|r| r.completed).sum(),
+        generated: reports.iter().map(|r| r.generated).sum(),
+        cycles: reports.iter().map(|r| r.cycles).sum(),
+        mean_latency: pooled.mean(),
+        latency_std_dev: pooled.std_dev(),
+        max_latency: pooled.max(),
+        ci_half_width: across.confidence_half_width(),
+        throughput: reports.iter().map(|r| r.throughput).sum::<f64>() / n,
+        vbar_measured: if pooled.count() > 0 {
+            vbar_weighted / pooled.count() as f64
+        } else {
+            1.0
+        },
+        saturated: reports.iter().any(|r| r.saturated),
+        deadlocked: reports.iter().any(|r| r.deadlocked),
+        reports,
+        seeds,
+    }
+}
+
+/// The configurations of `replications` replications of `base`.
+fn replication_configs(
+    base: SimConfig,
+    replications: u32,
+) -> Result<(Vec<SimConfig>, Vec<u64>), SimConfigError> {
+    assert!(replications >= 1, "need at least one replication");
+    base.validate()?;
+    let seeds: Vec<u64> = (0..replications)
+        .map(|r| replication_seed(base.seed, r))
+        .collect();
+    let configs = seeds
+        .iter()
+        .map(|&seed| SimConfig { seed, ..base })
+        .collect();
+    Ok((configs, seeds))
+}
+
+/// Run `replications` independent replications of `base` in parallel
+/// (rayon) and pool the reports.
+///
+/// Replication `r` runs under `replication_seed(base.seed, r)`;
+/// replication 0 is exactly the single run `base` describes.  Results are
+/// pooled in replication order, so the output is identical to
+/// [`run_replications_serial`] regardless of thread scheduling.
+pub fn run_replications(
+    base: SimConfig,
+    replications: u32,
+) -> Result<ReplicatedReport, SimConfigError> {
+    let (configs, seeds) = replication_configs(base, replications)?;
+    let reports: Vec<SimReport> = configs
+        .par_iter()
+        .map(|&cfg| Simulator::new(cfg).expect("validated above").run())
+        .collect();
+    Ok(combine(reports, seeds))
+}
+
+/// [`run_replications`] without the thread pool: same replications, same
+/// pooling, one at a time.
+pub fn run_replications_serial(
+    base: SimConfig,
+    replications: u32,
+) -> Result<ReplicatedReport, SimConfigError> {
+    let (configs, seeds) = replication_configs(base, replications)?;
+    let reports: Vec<SimReport> = configs
+        .iter()
+        .map(|&cfg| Simulator::new(cfg).expect("validated above").run())
+        .collect();
+    Ok(combine(reports, seeds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig::paper_validation(8, 2, 16, 3e-3, 0.3, 99).with_limits(20_000, 2_000, 0)
+    }
+
+    #[test]
+    fn replication_zero_matches_plain_run() {
+        let rep = run_replications(base(), 1).unwrap();
+        let plain = Simulator::new(base()).unwrap().run();
+        assert_eq!(rep.seeds, vec![99]);
+        assert_eq!(rep.reports[0].completed, plain.completed);
+        assert_eq!(
+            rep.reports[0].mean_latency.to_bits(),
+            plain.mean_latency.to_bits()
+        );
+        assert_eq!(rep.completed, plain.completed);
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds_and_workloads() {
+        let rep = run_replications(base(), 4).unwrap();
+        assert_eq!(rep.reports.len(), 4);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(rep.seeds[i], rep.seeds[j]);
+                assert_ne!(
+                    rep.reports[i].mean_latency.to_bits(),
+                    rep.reports[j].mean_latency.to_bits(),
+                    "replications {i} and {j} produced identical runs"
+                );
+            }
+        }
+        assert_eq!(
+            rep.completed,
+            rep.reports.iter().map(|r| r.completed).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn pooled_mean_is_completion_weighted() {
+        let rep = run_replications(base(), 3).unwrap();
+        let total: u64 = rep.reports.iter().map(|r| r.completed).sum();
+        let weighted: f64 = rep
+            .reports
+            .iter()
+            .map(|r| r.mean_latency * r.completed as f64)
+            .sum::<f64>()
+            / total as f64;
+        assert!((rep.mean_latency - weighted).abs() < 1e-9);
+        assert!(rep.ci_half_width.is_some());
+    }
+}

@@ -86,6 +86,25 @@ impl StreamingStats {
         }
     }
 
+    /// Reconstruct an accumulator from externally-stored moments: `count`
+    /// observations with sample `mean`, unbiased `variance` and largest
+    /// observation `max`.  Used to pool per-replication report statistics
+    /// without access to the raw observations; the minimum is not
+    /// recoverable from a report and is left unset.
+    pub fn from_moments(count: u64, mean: f64, variance: f64, max: f64) -> Self {
+        StreamingStats {
+            count,
+            mean: if count == 0 { 0.0 } else { mean },
+            m2: if count < 2 {
+                0.0
+            } else {
+                variance * (count - 1) as f64
+            },
+            min: f64::INFINITY,
+            max: if count == 0 { f64::NEG_INFINITY } else { max },
+        }
+    }
+
     /// Merge another accumulator into this one.
     pub fn merge(&mut self, other: &StreamingStats) {
         if other.count == 0 {

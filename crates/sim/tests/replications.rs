@@ -1,0 +1,66 @@
+//! Parallel replications must be observably identical to serial ones.
+//!
+//! The rayon path schedules replications across worker threads; the
+//! pooling is defined over the reports in replication order, so the
+//! combined report — including every floating-point field, down to the
+//! bit — must not depend on how the runs were scheduled.
+
+use kncube_sim::{run_replications, run_replications_serial, ReplicatedReport, SimConfig};
+use proptest::prelude::*;
+
+fn assert_identical(a: &ReplicatedReport, b: &ReplicatedReport) {
+    assert_eq!(a.seeds, b.seeds);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.generated, b.generated);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.mean_latency.to_bits(), b.mean_latency.to_bits());
+    assert_eq!(a.latency_std_dev.to_bits(), b.latency_std_dev.to_bits());
+    assert_eq!(a.max_latency.to_bits(), b.max_latency.to_bits());
+    assert_eq!(
+        a.ci_half_width.map(f64::to_bits),
+        b.ci_half_width.map(f64::to_bits)
+    );
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.vbar_measured.to_bits(), b.vbar_measured.to_bits());
+    assert_eq!(a.saturated, b.saturated);
+    assert_eq!(a.deadlocked, b.deadlocked);
+    assert_eq!(a.reports.len(), b.reports.len());
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.completed, rb.completed);
+        assert_eq!(ra.mean_latency.to_bits(), rb.mean_latency.to_bits());
+        assert_eq!(ra.vbar_measured.to_bits(), rb.vbar_measured.to_bits());
+        assert_eq!(ra.cycles, rb.cycles);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same replications pooled the same way: rayon scheduling must
+    /// not leak into any reported number.
+    #[test]
+    fn parallel_equals_serial(
+        seed in 0u64..1_000_000,
+        reps in 1u32..5,
+        kpick in 0u32..2,
+    ) {
+        let k = if kpick == 0 { 4 } else { 8 };
+        let cfg = SimConfig::paper_validation(k, 2, 8, 2e-3, 0.3, seed)
+            .with_limits(10_000, 1_000, 0);
+        let par = run_replications(cfg, reps).unwrap();
+        let ser = run_replications_serial(cfg, reps).unwrap();
+        assert_identical(&par, &ser);
+    }
+
+    /// Replications tighten the across-replication interval as more are
+    /// added (more degrees of freedom, same per-replication noise) — and
+    /// stay deterministic.
+    #[test]
+    fn replicated_runs_are_reproducible(seed in 0u64..1_000_000) {
+        let cfg = SimConfig::paper_validation(4, 2, 8, 5e-3, 0.2, seed)
+            .with_limits(10_000, 1_000, 0);
+        let a = run_replications(cfg, 3).unwrap();
+        let b = run_replications(cfg, 3).unwrap();
+        assert_identical(&a, &b);
+    }
+}

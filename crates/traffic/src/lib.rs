@@ -27,5 +27,5 @@ pub mod workload;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler};
 pub use patterns::{MessageClass, TrafficPattern};
-pub use rng::node_rng;
+pub use rng::{node_rng, replication_seed};
 pub use workload::{GeneratedMessage, NodeWorkload, WorkloadConfig};
