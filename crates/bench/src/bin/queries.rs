@@ -1,0 +1,189 @@
+//! Batched model-query binary: JSON batches in, JSON answers out, plus
+//! the CI-gated query-throughput benchmark.
+//!
+//! Two modes:
+//!
+//! * **Batch** (default): read a `{"queries": [...]}` document from
+//!   `--in FILE` (or stdin), answer it with the warm-start/cache engine
+//!   ([`kncube_bench::queries::run_batch`]), and write the results to
+//!   `--out FILE` (or stdout).  `--check-cold` re-solves every latency
+//!   query cold and exits 3 if any engine answer drifts past `1e-9`
+//!   relative — the CI smoke gate.
+//! * **Benchmark** (`--bench`): run the near-saturation λ-grid sweep and
+//!   emit `BENCH_model_queries.json` (`--quick` shrinks the grids; with
+//!   `--baseline` compare throughput, warning below `--min-ratio`).
+//!
+//! Exit codes: 0 ok (including throughput warnings), 1 bad input or
+//! baseline schema drift, 2 measurement/solver failure, 3 cold-check
+//! mismatch.
+
+use kncube_bench::json::parse;
+use kncube_bench::queries::{
+    check_cold, query_bench_compare, query_bench_schema_violations, run_batch, run_query_bench,
+};
+use std::io::Read as _;
+
+struct Options {
+    input: Option<String>,
+    out: Option<String>,
+    check_cold: bool,
+    bench: bool,
+    quick: bool,
+    baseline: Option<String>,
+    min_ratio: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: queries [--in FILE] [--out FILE] [--check-cold]\n\
+         \x20      queries --bench [--quick] [--out FILE] [--baseline FILE] [--min-ratio R]\n\
+         \n\
+         Batch mode answers a {{\"queries\": [...]}} JSON document (from --in or\n\
+         stdin) with the warm-start/cache engine; --check-cold re-solves every\n\
+         latency query cold and fails (exit 3) on drift beyond 1e-9 relative.\n\
+         Bench mode sweeps near-saturation λ grids and emits the\n\
+         BENCH_model_queries.json document; with --baseline, throughput ratios\n\
+         below R (default 0.8) warn, schema drift is an error (exit 1)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: None,
+        out: None,
+        check_cold: false,
+        bench: false,
+        quick: false,
+        baseline: None,
+        min_ratio: 0.8,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--in" => opts.input = Some(args.next().unwrap_or_else(|| usage())),
+            "--out" => opts.out = Some(args.next().unwrap_or_else(|| usage())),
+            "--check-cold" => opts.check_cold = true,
+            "--bench" => opts.bench = true,
+            "--quick" => opts.quick = true,
+            "--baseline" => opts.baseline = Some(args.next().unwrap_or_else(|| usage())),
+            "--min-ratio" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.min_ratio = v.parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn write_output(out: &Option<String>, text: &str) {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+
+    if opts.bench {
+        let doc = run_query_bench(opts.quick);
+        let violations = query_bench_schema_violations(&doc);
+        assert!(
+            violations.is_empty(),
+            "freshly measured document violates its own schema: {violations:?}"
+        );
+        write_output(&opts.out, &doc.pretty());
+        if let Some(path) = &opts.baseline {
+            let raw = match std::fs::read_to_string(path) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let baseline = match parse(&raw) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("error: baseline {path} is not valid JSON: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let drift = query_bench_schema_violations(&baseline);
+            if !drift.is_empty() {
+                eprintln!("error: baseline {path} does not match the schema:");
+                for v in &drift {
+                    eprintln!("  - {v}");
+                }
+                std::process::exit(1);
+            }
+            let warnings = query_bench_compare(&doc, &baseline, opts.min_ratio);
+            if warnings > 0 {
+                eprintln!(
+                    "{warnings} regression warning(s) — not failing the build; \
+                     timing on shared runners is noisy"
+                );
+            }
+        }
+        return;
+    }
+
+    let raw = match &opts.input {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(raw) => raw,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+    };
+    let input = match parse(&raw) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("error: input is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let output = match run_batch(&input) {
+        Ok(output) => output,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    write_output(&opts.out, &output.pretty());
+
+    if opts.check_cold {
+        match check_cold(&input, &output) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("cold check: all latency answers agree within 1e-9");
+            }
+            Ok(violations) => {
+                eprintln!("error: engine answers drifted from cold solves:");
+                for v in &violations {
+                    eprintln!("  - {v}");
+                }
+                std::process::exit(3);
+            }
+            Err(e) => {
+                eprintln!("error: cold check failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

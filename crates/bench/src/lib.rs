@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod queries;
+pub mod stamp;
 
 use kncube_core::{
     HotSpotModel, ModelConfig, ModelError, ModelOutput, NCubeConfig, NCubeModel, NCubeOutput,

@@ -1,0 +1,56 @@
+//! Provenance stamps for emitted benchmark documents: the current git
+//! commit and a dependency-free UTC timestamp.  Shared by every harness
+//! that writes a `BENCH_*.json`.
+
+/// The current `HEAD` commit hash, or `"unknown"` outside a git checkout.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ`, from the Unix clock alone
+/// (no date/time dependency; Hinnant's civil-from-days algorithm).
+pub fn utc_now_iso8601() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, rem % 3600 / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_has_the_iso8601_shape() {
+        let t = utc_now_iso8601();
+        assert_eq!(t.len(), 20, "{t}");
+        assert!(t.ends_with('Z'));
+        assert_eq!(&t[4..5], "-");
+        assert_eq!(&t[10..11], "T");
+        // The repo's clock is past the paper's publication year.
+        let year: i32 = t[..4].parse().unwrap();
+        assert!(year >= 2005, "{t}");
+    }
+}

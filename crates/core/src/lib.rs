@@ -44,12 +44,15 @@
 //! * [`hypercube`] — the binary-hypercube comparison model (closed form);
 //! * [`uniform`] — an independently-derived uniform-traffic baseline (the
 //!   `h → 0` sanity anchor);
-//! * [`sweep`] — load sweeps and saturation-point search, parallelised on
-//!   a bounded rayon worker pool.
+//! * [`sweep`] — load sweeps, warm-started continuation and saturation
+//!   search, parallelised on a bounded rayon worker pool;
+//! * [`cache`] — a solved-configuration memo behind a quantized key, the
+//!   backbone of the batched query engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod hypercube;
 pub mod ncube;
 pub mod probabilities;
@@ -58,6 +61,7 @@ pub mod solver;
 pub mod sweep;
 pub mod uniform;
 
+pub use cache::SolveCache;
 pub use hypercube::{HypercubeModel, HypercubeOutput};
 pub use ncube::{NCubeConfig, NCubeModel, NCubeOutput};
 pub use probabilities::{entry_cases, EntryCase, RegularRouteProbs};
@@ -67,7 +71,8 @@ pub use solver::{
     ServiceTimeModel,
 };
 pub use sweep::{
-    find_saturation, find_saturation_ncube, latency_curve, ncube_latency_curve, CurvePoint,
-    NCubeCurvePoint, SaturationError,
+    find_saturation, find_saturation_ncube, find_saturation_ncube_report, find_saturation_report,
+    latency_curve, ncube_latency_curve, ncube_latency_curve_continued, solve_continued, CurvePoint,
+    NCubeCurvePoint, SaturationError, SaturationReport,
 };
 pub use uniform::UniformModel;

@@ -385,20 +385,50 @@ impl NCubeModel {
         }
     }
 
-    /// Solve the model.
-    pub fn solve(&self) -> Result<NCubeOutput, ModelError> {
-        let layout = Layout {
+    /// Number of components in the fixed-point state vector for this
+    /// configuration — the length a warm-start state must have to be
+    /// accepted by [`NCubeModel::solve_warm`].
+    pub fn state_len(&self) -> usize {
+        self.layout().len()
+    }
+
+    fn layout(&self) -> Layout {
+        Layout {
             n: self.config.n as usize,
             m: (self.config.k - 1) as usize,
+        }
+    }
+
+    /// Solve the model.
+    pub fn solve(&self) -> Result<NCubeOutput, ModelError> {
+        self.solve_warm(None).map(|(out, _)| out)
+    }
+
+    /// Solve the model, optionally warm-starting the fixed point from the
+    /// converged state of a nearby configuration, and return the converged
+    /// state alongside the output so the caller can continue the chain.
+    ///
+    /// A warm state is accepted only when its length matches
+    /// [`NCubeModel::state_len`] and every component is finite and
+    /// non-negative; anything else silently falls back to the cold
+    /// zero-load initial guess, so continuation across a `(k, n)` boundary
+    /// is safe by construction.
+    pub fn solve_warm(&self, warm: Option<&[f64]>) -> Result<(NCubeOutput, Vec<f64>), ModelError> {
+        let layout = self.layout();
+        let initial = match warm {
+            Some(w) if w.len() == layout.len() && w.iter().all(|x| x.is_finite() && *x >= 0.0) => {
+                w.to_vec()
+            }
+            _ => self.initial_state(layout),
         };
-        let initial = self.initial_state(layout);
         let report = fixed_point::solve(initial, self.config.options, |state, next| {
             self.update(layout, state, next)
         })
         .map_err(|e| match e {
             FixedPointError::NonFinite | FixedPointError::NotConverged => ModelError::NotConverged,
         })?;
-        self.compose(layout, &report.state, report.iterations)
+        let out = self.compose(layout, &report.state, report.iterations)?;
+        Ok((out, report.state))
     }
 
     /// The generalized Eqs. (10)–(15), (21)–(24), (31)–(37) evaluated on
@@ -749,6 +779,58 @@ mod tests {
             );
             assert!((out.vbar_hot[d] - out.vbar_nonhot).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_and_reports_fewer_iterations() {
+        let mk = |lambda: f64| {
+            let mut cfg = NCubeConfig::new(8, 3, 2, 16, lambda, 0.4);
+            // The path-occupancy ablation actually iterates, so warm
+            // starts have something to save.
+            cfg.service_model = ServiceTimeModel::PathOccupancy;
+            NCubeModel::new(cfg).unwrap()
+        };
+        let (out_a, state_a) = mk(4e-5).solve_warm(None).unwrap();
+        let (out_b_cold, _) = mk(4.2e-5).solve_warm(None).unwrap();
+        let (out_b_warm, _) = mk(4.2e-5).solve_warm(Some(&state_a)).unwrap();
+        assert!(
+            (out_b_warm.latency - out_b_cold.latency).abs() < 1e-6 * out_b_cold.latency,
+            "warm {} vs cold {}",
+            out_b_warm.latency,
+            out_b_cold.latency
+        );
+        assert!(
+            out_b_warm.iterations < out_b_cold.iterations,
+            "warm {} vs cold {} iterations",
+            out_b_warm.iterations,
+            out_b_cold.iterations
+        );
+        assert!(out_a.iterations >= out_b_warm.iterations);
+    }
+
+    #[test]
+    fn bad_warm_states_fall_back_to_the_cold_start() {
+        let model = NCubeModel::new(NCubeConfig::new(8, 3, 2, 16, 5e-5, 0.2)).unwrap();
+        let cold = model.solve().unwrap();
+        for bad in [
+            vec![],                                 // wrong length
+            vec![1.0; 3],                           // wrong length
+            vec![f64::NAN; model.state_len()],      // non-finite
+            vec![-1.0; model.state_len()],          // negative
+            vec![f64::INFINITY; model.state_len()], // non-finite
+        ] {
+            let (out, _) = model.solve_warm(Some(&bad)).unwrap();
+            assert_eq!(out.latency.to_bits(), cold.latency.to_bits());
+        }
+    }
+
+    #[test]
+    fn state_len_matches_the_layout() {
+        let model = NCubeModel::new(NCubeConfig::new(8, 3, 2, 16, 5e-5, 0.2)).unwrap();
+        // 1 non-hot blocking + n hot blockings + n·(k-1) chain entries.
+        assert_eq!(model.state_len(), 1 + 3 + 3 * 7);
+        let (_, state) = model.solve_warm(None).unwrap();
+        assert_eq!(state.len(), model.state_len());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub(crate) const RHO_CAP: f64 = 1.0 - 1e-7;
 /// `ablations` bench quantifies the (small) difference.  In the
 /// generalized solver "x" reads as "the message's current dimension" and
 /// "hot ring" as "the hot ring of the last dimension".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum ModelVariant {
     /// Use `S^r_{x,k}` in Eq. (25)'s blocking term (default).
     #[default]
@@ -94,7 +94,7 @@ pub enum ModelVariant {
 /// precisely on the axis ranges of all six subfigures
 /// (`λ* ≈ 1/(h·k(k-1)·(Lm+1) + λ_r-share)`).  See DESIGN.md §
 /// "Reconstruction notes".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum ServiceTimeModel {
     /// Competitor service/occupancy = `Lm + 1` cycles (default; matches
     /// the paper's figures).
@@ -107,7 +107,7 @@ pub enum ServiceTimeModel {
 }
 
 /// How the virtual-channel multiplexing degree `V̄` is computed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum MultiplexingModel {
     /// Dally's Markov chain, Eqs. (33)–(35) — the published model.  It
     /// assumes a message can occupy any of the `V` virtual channels, which

@@ -1,6 +1,9 @@
 //! Property-based tests of the analytical model.
 
-use kncube_core::{HotSpotModel, ModelConfig, ModelError, Rates, RegularRouteProbs};
+use kncube_core::{
+    solve_continued, HotSpotModel, ModelConfig, ModelError, NCubeConfig, NCubeModel, Rates,
+    RegularRouteProbs, ServiceTimeModel, SolveCache,
+};
 use proptest::prelude::*;
 
 /// Strategy over valid model configurations at a load comfortably below
@@ -104,6 +107,94 @@ proptest! {
         prop_assert!((p.total() - 1.0).abs() < 1e-12);
         prop_assert!(p.y_only_hot_ring > 0.0);
         prop_assert!(p.x_then_nonhot_ring >= 0.0);
+    }
+
+    #[test]
+    fn warm_continuation_agrees_with_cold_solves_on_random_grids(
+        k in 4u32..=8,
+        n in 2u32..=3,
+        lm in 8u32..=32,
+        h in 0.05f64..=0.7,
+        top in 0.3f64..=0.9,
+        iterative in 0u32..=1,
+    ) {
+        let iterative = iterative == 1;
+        // A random ascending λ grid under either service model: the
+        // warm-started chain must answer every point like a cold solve
+        // of that exact point.  Under the default pipelined model the
+        // agreement is bitwise (the update is load-only); under the
+        // path-occupancy ablation both runs converge to the same fixed
+        // point within the solver tolerance.
+        let mut base = NCubeConfig::new(k, n, 2, lm, 0.0, h);
+        if iterative {
+            base.service_model = ServiceTimeModel::PathOccupancy;
+        }
+        let hot_bound = 1.0 / (h.max(0.01) * (k * (k - 1)) as f64 * (lm + 1) as f64);
+        let uni_bound = 1.0 / ((k as f64 - 1.0) / 2.0 * (lm + 1) as f64);
+        let cap = top * hot_bound.min(uni_bound) / (n - 1) as f64;
+        let configs: Vec<NCubeConfig> = (1..=6)
+            .map(|i| NCubeConfig { lambda: cap * i as f64 / 6.0, ..base })
+            .collect();
+        let chained = solve_continued(&configs);
+        for (cfg, warm) in configs.iter().zip(&chained) {
+            let cold = NCubeModel::new(*cfg).unwrap().solve();
+            match (&cold, warm) {
+                (Ok(c), Ok(w)) => {
+                    let rel = (c.latency - w.latency).abs() / c.latency.max(1.0);
+                    prop_assert!(rel < 1e-6,
+                        "warm {} vs cold {} at λ={} (rel {rel:.3e})",
+                        w.latency, c.latency, cfg.lambda);
+                    if !iterative {
+                        prop_assert_eq!(c.latency.to_bits(), w.latency.to_bits());
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                other => prop_assert!(false,
+                    "solvability mismatch at λ={}: {other:?}", cfg.lambda),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_never_returns_a_stale_entry_after_quantization(
+        k in 4u32..=8,
+        n in 2u32..=3,
+        lm in 8u32..=32,
+        h in 0.05f64..=0.7,
+        frac in 0.05f64..=0.5,
+        nudge_ulps in 0u64..=2000,
+    ) {
+        // Prime the cache with λ, then query a perturbed λ′ a few
+        // thousand ulps away — sometimes inside the same quantization
+        // bucket (a hit), sometimes not (a miss).  Either way the answer
+        // must be the *exact* solution of quantize(λ′): a hit is only
+        // legal because the two requests snapped to the same lattice
+        // configuration.
+        let hot_bound = 1.0 / (h.max(0.01) * (k * (k - 1)) as f64 * (lm + 1) as f64);
+        let uni_bound = 1.0 / ((k as f64 - 1.0) / 2.0 * (lm + 1) as f64);
+        let lambda = frac * hot_bound.min(uni_bound) / (n - 1) as f64;
+        let a = NCubeConfig::new(k, n, 2, lm, lambda, h);
+        let b = NCubeConfig {
+            lambda: f64::from_bits(a.lambda.to_bits() + nudge_ulps),
+            ..a
+        };
+        let cache = SolveCache::new();
+        let via_a = cache.solve(&a);
+        let via_b = cache.solve(&b);
+        for (cfg, got) in [(&a, &via_a), (&b, &via_b)] {
+            let direct = NCubeModel::new(SolveCache::quantize(cfg))
+                .unwrap()
+                .solve();
+            match (&direct, got) {
+                (Ok(d), Ok(g)) => prop_assert_eq!(
+                    d.latency.to_bits(), g.latency.to_bits(),
+                    "cache answer differs from the quantized config's exact solve"),
+                (Err(d), Err(g)) => prop_assert_eq!(d, g),
+                other => prop_assert!(false, "solvability mismatch: {other:?}"),
+            }
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), 2);
+        prop_assert_eq!(cache.len() as u64, cache.misses());
     }
 
     #[test]

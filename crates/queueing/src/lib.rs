@@ -27,6 +27,6 @@ pub mod mg1;
 pub mod vc_multiplex;
 
 pub use blocking::{blocking_delay, weighted_service, TrafficClass};
-pub use fixed_point::{solve, FixedPointError, FixedPointOptions, FixedPointReport};
+pub use fixed_point::{solve, Acceleration, FixedPointError, FixedPointOptions, FixedPointReport};
 pub use mg1::{utilization, waiting_time, waiting_time_clamped, Saturated};
 pub use vc_multiplex::{multiplexing_factor, occupancy_distribution};

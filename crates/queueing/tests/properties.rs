@@ -127,4 +127,45 @@ proptest! {
         ).unwrap();
         prop_assert!((report.state[0] - b / (1.0 - a)).abs() < 1e-6);
     }
+
+    #[test]
+    fn anderson_agrees_with_picard_on_affine_contractions(
+        a in -0.9f64..0.9,
+        b in -10.0f64..10.0,
+        depth in 1usize..6,
+    ) {
+        use kncube_queueing::fixed_point::{solve, Acceleration, FixedPointOptions};
+        let f = |x: &[f64], out: &mut [f64]| out[0] = a * x[0] + b;
+        let picard = solve(vec![0.0], FixedPointOptions::default(), f).unwrap();
+        let aa = solve(
+            vec![0.0],
+            FixedPointOptions {
+                acceleration: Acceleration::Anderson { depth },
+                ..Default::default()
+            },
+            f,
+        ).unwrap();
+        let target = b / (1.0 - a);
+        prop_assert!((aa.state[0] - target).abs() < 1e-6,
+            "AA missed the fixed point: {} vs {target}", aa.state[0]);
+        // Acceleration never needs more iterations than the window takes
+        // to fill plus Picard's own count (and is usually far fewer).
+        prop_assert!(aa.iterations <= picard.iterations + depth + 2,
+            "AA {} vs Picard {}", aa.iterations, picard.iterations);
+    }
+
+    #[test]
+    fn warm_start_at_the_fixed_point_converges_in_one_iteration(
+        a in -0.9f64..0.9,
+        b in -10.0f64..10.0,
+    ) {
+        use kncube_queueing::fixed_point::{solve, FixedPointOptions};
+        let target = b / (1.0 - a);
+        let report = solve(
+            vec![target],
+            FixedPointOptions::default(),
+            |x, out| out[0] = a * x[0] + b,
+        ).unwrap();
+        prop_assert_eq!(report.iterations, 1);
+    }
 }
