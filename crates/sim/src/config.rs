@@ -1,7 +1,7 @@
 //! Simulator configuration.
 
-use kncube_topology::{KAryNCube, NodeId, TopologyError};
-use kncube_traffic::{ArrivalProcess, TrafficPattern};
+use kncube_topology::{Boundary, KAryNCube, LinkKind, NodeId, TopologyError};
+use kncube_traffic::{ArrivalProcess, FaultSpec, TrafficPattern};
 use std::fmt;
 
 /// How arrived messages leave the network at their destination.
@@ -27,6 +27,18 @@ pub struct SimConfig {
     /// Dimension count `n` (the paper validates `n = 2`; the simulator is
     /// general).
     pub n: u32,
+    /// Link kind (the paper's analysis is unidirectional; bidirectional
+    /// links route the shorter way around each ring).
+    pub link_kind: LinkKind,
+    /// Boundary condition (torus with wrap-around, or mesh without; meshes
+    /// require bidirectional links).
+    pub boundary: Boundary,
+    /// Optional fault injection: router/link failure probabilities sampled
+    /// deterministically from the master seed.  When set, routing runs on
+    /// the fault-aware shortest-path router and messages whose endpoints
+    /// cannot communicate are dropped at generation (counted in the
+    /// report).
+    pub faults: Option<FaultSpec>,
     /// Virtual channels per physical channel (`V >= 2` for deadlock-free
     /// torus routing).
     pub virtual_channels: u32,
@@ -99,6 +111,9 @@ impl SimConfig {
         SimConfig {
             k,
             n,
+            link_kind: LinkKind::Unidirectional,
+            boundary: Boundary::Torus,
+            faults: None,
             virtual_channels: v,
             buffer_depth: 2,
             message_length: lm,
@@ -133,13 +148,34 @@ impl SimConfig {
         self
     }
 
+    /// Override the link kind and boundary condition.
+    pub fn with_topology(mut self, link_kind: LinkKind, boundary: Boundary) -> Self {
+        self.link_kind = link_kind;
+        self.boundary = boundary;
+        self
+    }
+
+    /// Enable fault injection with the given failure probabilities.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Build the topology this configuration describes.
     pub fn topology(&self) -> Result<KAryNCube, SimConfigError> {
-        KAryNCube::unidirectional(self.k, self.n).map_err(SimConfigError::Topology)
+        KAryNCube::with_boundary(self.k, self.n, self.link_kind, self.boundary)
+            .map_err(SimConfigError::Topology)
     }
 
     /// Validate parameter ranges.
     pub fn validate(&self) -> Result<(), SimConfigError> {
+        if let Some(spec) = self.faults {
+            if !spec.is_valid() {
+                return Err(SimConfigError::Invalid(
+                    "fault probabilities must lie in [0, 1]",
+                ));
+            }
+        }
         if self.virtual_channels < 1 {
             return Err(SimConfigError::Invalid("need at least 1 virtual channel"));
         }

@@ -66,8 +66,10 @@ use crate::config::{EjectionPolicy, SimConfig, SimConfigError};
 use crate::message::{HeadState, MessageArena, MsgId, NewMessage, NO_MSG};
 use crate::report::SimReport;
 use crate::stats::{BatchMeans, StreamingStats};
-use kncube_topology::{Channel, ChannelId, KAryNCube, NodeId, VcClass};
-use kncube_traffic::{GeneratedMessage, MessageClass, NodeWorkload, WorkloadConfig};
+use kncube_topology::{Boundary, Channel, ChannelId, FaultRouter, KAryNCube, NodeId, VcClass};
+use kncube_traffic::{
+    sample_fault_set, GeneratedMessage, MessageClass, NodeWorkload, WorkloadConfig,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -120,6 +122,12 @@ fn cnt_start_occ(w: u64) -> u64 {
 pub struct Simulator {
     config: SimConfig,
     topo: KAryNCube,
+    /// Fault-aware router, present iff the configuration enables fault
+    /// injection (even when the sampled fault set happens to be empty, so
+    /// behaviour is a function of the configuration, not of sampling
+    /// luck).  Routing then takes deterministic shortest surviving paths
+    /// instead of dimension-order routes.
+    fault_router: Option<FaultRouter>,
     /// Virtual channels per port (copied out of `config` for indexing).
     v: u32,
     /// First injection-port index (= number of network channels).
@@ -185,6 +193,12 @@ pub struct Simulator {
     last_progress: u64,
     // --- statistics ---
     generated: u64,
+    /// Messages dropped at generation: the sampled fault set disconnects
+    /// their endpoints (or kills one of them).
+    dropped_unreachable: u64,
+    /// Σ extra hops (beyond the fault-free minimum) over measured
+    /// completions, for the mean-detour statistic.
+    detour_hops_total: u64,
     completed_measured: u64,
     latency_all: StreamingStats,
     latency_regular: StreamingStats,
@@ -243,9 +257,17 @@ impl Simulator {
         } else {
             1_000
         };
+        let fault_router = config
+            .faults
+            .map(|spec| FaultRouter::new(sample_fault_set(topo, spec, config.seed)));
         // Longest chain: the injection stage plus one stage per hop of the
-        // longest dimension-order route (`k - 1` hops per dimension).
-        let max_chain = topo.n() * (topo.k() - 1) + 1;
+        // longest route — the longest dimension-order route without
+        // faults, the longest surviving shortest path with them (detours
+        // can exceed the fault-free diameter).
+        let max_chain = match &fault_router {
+            Some(router) => router.max_finite_distance() + 1,
+            None => topo.max_hops() + 1,
+        };
         // The packed VC words hold lengths, stages and buffer counts in
         // 16-bit fields.
         assert!(
@@ -256,6 +278,7 @@ impl Simulator {
         Ok(Simulator {
             config,
             topo,
+            fault_router,
             v,
             inj_base: n_channels,
             vc_slot: vec![NO_MSG as u64; n_vcs],
@@ -282,6 +305,8 @@ impl Simulator {
             next_sweep: 1 << 16,
             last_progress: 0,
             generated: 0,
+            dropped_unreachable: 0,
+            detour_hops_total: 0,
             completed_measured: 0,
             latency_all: StreamingStats::new(),
             latency_regular: StreamingStats::new(),
@@ -333,9 +358,14 @@ impl Simulator {
         }
     }
 
-    /// VC indices `[lo, hi)` of `class` on a network port.
+    /// VC indices `[lo, hi)` of `class` on a network port.  Meshes have no
+    /// wrap-around links, so no hop ever needs the Low class and the High
+    /// class gets the whole VC pool; tori split it `ceil(V/2)` / rest.
     fn class_range(&self, class: usize) -> (u32, u32) {
         let v = self.v;
+        if self.topo.boundary() == Boundary::Mesh {
+            return if class == 0 { (0, v) } else { (v, v) };
+        }
         let high = high_class_size(v);
         if class == 0 {
             (0, high)
@@ -364,6 +394,16 @@ impl Simulator {
             }
         }
         for gm in scratch.drain(..) {
+            if let Some(router) = &self.fault_router {
+                // Sources on failed routers generate nothing that can move,
+                // and no route exists to a failed or disconnected
+                // destination: count the message and drop it at the source.
+                if router.distance(gm.src, gm.dest).is_none() {
+                    self.generated += 1;
+                    self.dropped_unreachable += 1;
+                    continue;
+                }
+            }
             let measured = gm.birth_cycle >= self.config.warmup_cycles;
             let id = self.messages.insert(NewMessage {
                 src: gm.src,
@@ -616,10 +656,15 @@ impl Simulator {
             self.ejecting.push(id);
             return;
         }
-        let hop = self
-            .topo
-            .dor_next_hop(node, dest)
-            .expect("not at destination");
+        let hop = match &self.fault_router {
+            Some(router) => router
+                .next_hop(node, dest)
+                .expect("unreachable destinations are dropped at generation"),
+            None => self
+                .topo
+                .dor_next_hop(node, dest)
+                .expect("not at destination"),
+        };
         let next_port = hop.channel.id(&self.topo).0;
         let class = match hop.vc_class {
             VcClass::High => 0,
@@ -706,6 +751,15 @@ impl Simulator {
         let i = id as usize;
         if self.messages.measured[i] {
             let latency = self.messages.latency_at(id, self.cycle) as f64;
+            if self.fault_router.is_some() {
+                // Chain stages are the injection stage plus one per hop;
+                // the fault-free minimum is the dimension-order hop count.
+                let hops = self.messages.chain_len[i] as u64 - 1;
+                let minimal = self
+                    .topo
+                    .hop_count(self.messages.src[i], self.messages.dest[i]);
+                self.detour_hops_total += hops - minimal as u64;
+            }
             self.completed_measured += 1;
             self.latency_all.push(latency);
             self.batches.push(latency);
@@ -836,6 +890,16 @@ impl Simulator {
             mean_latency_regular: self.latency_regular.mean(),
             mean_latency_hot: self.latency_hot.mean(),
             generated: self.generated,
+            dropped_unreachable: self.dropped_unreachable,
+            mean_detour_hops: if self.completed_measured > 0 {
+                self.detour_hops_total as f64 / self.completed_measured as f64
+            } else {
+                0.0
+            },
+            reachable_fraction: match &self.fault_router {
+                Some(router) => router.reachable_fraction(),
+                None => 1.0,
+            },
             cycles: self.cycle,
             throughput: if measured_cycles > 0 {
                 self.completed_measured as f64 / measured_cycles as f64 / n
@@ -872,6 +936,11 @@ impl Simulator {
     /// The topology being simulated.
     pub fn topology(&self) -> &KAryNCube {
         &self.topo
+    }
+
+    /// The fault-aware router in force, when fault injection is enabled.
+    pub fn fault_router(&self) -> Option<&FaultRouter> {
+        self.fault_router.as_ref()
     }
 
     /// Total flits currently buffered anywhere in the network, plus flits

@@ -26,6 +26,16 @@ pub struct SimReport {
     pub mean_latency_hot: f64,
     /// All messages generated (warm-up included).
     pub generated: u64,
+    /// Messages dropped at generation because the fault set left their
+    /// source and destination disconnected (0 without fault injection).
+    pub dropped_unreachable: u64,
+    /// Mean extra hops of measured messages over the fault-free minimal
+    /// distance (0.0 without fault injection: dimension-order routes are
+    /// minimal).
+    pub mean_detour_hops: f64,
+    /// Fraction of ordered node pairs that can still communicate under the
+    /// sampled fault set (1.0 without fault injection).
+    pub reachable_fraction: f64,
     /// Cycles simulated.
     pub cycles: u64,
     /// Delivered messages per node per cycle over the measurement window.
@@ -64,7 +74,7 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "latency {:.1}±{} cycles (reg {:.1}, hot {:.1}), {} msgs in {} cycles, V̄={:.3}{}{}",
+            "latency {:.1}±{} cycles (reg {:.1}, hot {:.1}), {} msgs in {} cycles, V̄={:.3}{}{}{}",
             self.mean_latency,
             match self.ci_half_width {
                 Some(hw) => format!("{hw:.1}"),
@@ -75,6 +85,14 @@ impl fmt::Display for SimReport {
             self.completed,
             self.cycles,
             self.vbar_measured,
+            if self.dropped_unreachable > 0 {
+                format!(
+                    " (reach {:.3}, {} dropped, detour {:.2})",
+                    self.reachable_fraction, self.dropped_unreachable, self.mean_detour_hops
+                )
+            } else {
+                String::new()
+            },
             if self.saturated { " SATURATED" } else { "" },
             if self.deadlocked { " DEADLOCK" } else { "" },
         )
@@ -97,6 +115,9 @@ mod tests {
             mean_latency_regular: 90.0,
             mean_latency_hot: 140.0,
             generated: 1100,
+            dropped_unreachable: 0,
+            mean_detour_hops: 0.0,
+            reachable_fraction: 1.0,
             cycles: 50_000,
             throughput: 1e-4,
             offered_load: 1e-4,
@@ -121,5 +142,17 @@ mod tests {
         let mut r = report();
         r.saturated = true;
         assert!(format!("{r}").contains("SATURATED"));
+    }
+
+    #[test]
+    fn display_mentions_drops_only_under_faults() {
+        let r = report();
+        assert!(!format!("{r}").contains("dropped"));
+        let mut r = report();
+        r.dropped_unreachable = 12;
+        r.reachable_fraction = 0.875;
+        r.mean_detour_hops = 0.25;
+        let s = format!("{r}");
+        assert!(s.contains("12 dropped") && s.contains("reach 0.875"));
     }
 }

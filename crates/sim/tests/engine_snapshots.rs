@@ -28,6 +28,9 @@ struct Snapshot {
     mean_latency_regular: u64,
     mean_latency_hot: u64,
     generated: u64,
+    dropped_unreachable: u64,
+    mean_detour_hops: u64,
+    reachable_fraction: u64,
     cycles: u64,
     throughput: u64,
     vbar_measured: u64,
@@ -73,6 +76,20 @@ fn check(s: Snapshot) {
         "{ctx}: mean_latency_hot"
     );
     assert_eq!(r.generated, s.generated, "{ctx}: generated");
+    assert_eq!(
+        r.dropped_unreachable, s.dropped_unreachable,
+        "{ctx}: dropped_unreachable"
+    );
+    assert_eq!(
+        r.mean_detour_hops.to_bits(),
+        s.mean_detour_hops,
+        "{ctx}: mean_detour_hops"
+    );
+    assert_eq!(
+        r.reachable_fraction.to_bits(),
+        s.reachable_fraction,
+        "{ctx}: reachable_fraction"
+    );
     assert_eq!(r.cycles, s.cycles, "{ctx}: cycles");
     assert_eq!(r.throughput.to_bits(), s.throughput, "{ctx}: throughput");
     assert_eq!(
@@ -106,6 +123,9 @@ fn snapshot_paper_k8_v2_lm16_h30() {
         mean_latency_regular: 0x40905fc594c2739a,
         mean_latency_hot: 0x408fd6f70ee72965,
         generated: 9536,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
         cycles: 30000,
         throughput: 0x3f67e5155b9329d6,
         vbar_measured: 0x3ff1dc68a0636ada,
@@ -129,6 +149,9 @@ fn snapshot_paper_k16_v2_lm32_h20() {
         mean_latency_regular: 0x404b320e85cb2998,
         mean_latency_hot: 0x4051906883e361f5,
         generated: 4529,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
         cycles: 60000,
         throughput: 0x3f33417faef9429e,
         vbar_measured: 0x3ff09cb0be17b697,
@@ -152,6 +175,9 @@ fn snapshot_cube_k4_n3_v2_lm8_h40() {
         mean_latency_regular: 0x409d01aaf1d2f849,
         mean_latency_hot: 0x409dbe4de540d0be,
         generated: 32195,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
         cycles: 50000,
         throughput: 0x3f79a7cca9d8f393,
         vbar_measured: 0x3ff0907e272bc37d,
@@ -175,6 +201,9 @@ fn snapshot_cube_k3_n3_v2_lm8_h50() {
         mean_latency_regular: 0x409767927e7384ce,
         mean_latency_hot: 0x409b260c7ce0c7c5,
         generated: 16226,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
         cycles: 30000,
         throughput: 0x3f8ca9f394fbdf1a,
         vbar_measured: 0x3ff0a112a757a11b,
@@ -202,6 +231,9 @@ fn snapshot_shared_ejection_k8() {
         mean_latency_regular: 0x409e0b74abcb3e95,
         mean_latency_hot: 0x409dbe62ac20e40d,
         generated: 7715,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
         cycles: 40000,
         throughput: 0x3f516872b020c49c,
         vbar_measured: 0x3ff165d99563ac26,
@@ -229,10 +261,71 @@ fn snapshot_buffer_depth1_k8() {
         mean_latency_regular: 0x40924645aba63c13,
         mean_latency_hot: 0x0000000000000000,
         generated: 5051,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
         cycles: 40000,
         throughput: 0x3f5e41fdb97530ed,
         vbar_measured: 0x3ff5673887b2fce9,
         max_source_queue: 38,
         in_flight_at_end: 286,
+    });
+}
+
+#[test]
+fn snapshot_bidirectional_torus_k8() {
+    use kncube_topology::{Boundary, LinkKind};
+    check(Snapshot {
+        name: "bidi_torus_k8",
+        config: SimConfig::paper_validation(8, 2, 16, 5e-3, 0.3, 77)
+            .with_topology(LinkKind::Bidirectional, Boundary::Torus)
+            .with_limits(30_000, 2_000, 0),
+        mean_latency: 0x4058d44bcd50d909,
+        ci_half_width: Some(0x4045d18121095c31),
+        latency_std_dev: 0x40755bb7ca601c2f,
+        max_latency: 0x40b4530000000000,
+        completed: 9132,
+        completed_regular: 6547,
+        completed_hot: 2585,
+        mean_latency_regular: 0x4055bfaaea10583b,
+        mean_latency_hot: 0x406050d2bdf1eff0,
+        generated: 9821,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
+        cycles: 30000,
+        throughput: 0x3f74df864a502a21,
+        vbar_measured: 0x3ff0af9dd0fd27dd,
+        max_source_queue: 22,
+        in_flight_at_end: 32,
+    });
+}
+
+#[test]
+fn snapshot_mesh_k8() {
+    use kncube_topology::{Boundary, LinkKind};
+    check(Snapshot {
+        name: "mesh_k8",
+        config: SimConfig::paper_validation(8, 2, 16, 5e-3, 0.3, 78)
+            .with_topology(LinkKind::Bidirectional, Boundary::Mesh)
+            .with_limits(30_000, 2_000, 0),
+        mean_latency: 0x4088f2714007ba1f,
+        ci_half_width: Some(0x407d64b8f57fee86),
+        latency_std_dev: 0x40a4cf3f933609ea,
+        max_latency: 0x40d9d54000000000,
+        completed: 6361,
+        completed_regular: 4427,
+        completed_hot: 1934,
+        mean_latency_regular: 0x40871f5ad89ead5b,
+        mean_latency_hot: 0x408d1f9fa2d01534,
+        generated: 9727,
+        dropped_unreachable: 0,
+        mean_detour_hops: 0x0,
+        reachable_fraction: 0x3ff0000000000000,
+        cycles: 30000,
+        throughput: 0x3f6d142ffb51a09f,
+        vbar_measured: 0x3ffcf181f76e6509,
+        max_source_queue: 159,
+        in_flight_at_end: 2731,
     });
 }

@@ -1,0 +1,558 @@
+//! Router/link fault injection and fault-aware shortest-path routing.
+//!
+//! The analytical model assumes a fault-free network; this module supplies
+//! the machinery for the reliability extension: a [`FaultSet`] names failed
+//! routers and physical links, and a [`FaultRouter`] computes deterministic
+//! shortest surviving routes around them (reporting unreachable pairs and
+//! detour lengths), in the spirit of the probabilistic reliability analyses
+//! of faulty k-ary n-cubes and meshes (arXiv:1301.5993, math/0407185).
+//!
+//! Semantics:
+//!
+//! * a **failed router** removes the node: no traffic may originate at,
+//!   terminate at, or transit through it (all incident channels die);
+//! * a **failed link** is a *physical* failure: on bidirectional networks
+//!   both directed channels of the link die together;
+//! * channels that do not exist in the topology ([`KAryNCube::channel_exists`]
+//!   — `Minus` channels of unidirectional networks, wrap-around channels of
+//!   meshes) are permanently "failed".
+//!
+//! The router is a brute-force breadth-first search per destination over
+//! the surviving digraph — exact and deterministic (ties broken by lowest
+//! [`ChannelId`]), which is what a correctness oracle and a small-network
+//! simulator need; it is *not* a scalable fault-tolerant routing algorithm.
+//! With an empty fault set its hop sequences coincide with dimension-order
+//! routing ([`KAryNCube::dor_route`]): the lowest-channel-id tie-break
+//! picks the lowest dimension first and resolves the even-`k` half-ring tie
+//! towards `Plus`, exactly the DOR conventions.
+
+use crate::channel::{Channel, Direction};
+use crate::geometry::{Boundary, KAryNCube, LinkKind, NodeId};
+use crate::routing::{Hop, VcClass};
+
+/// Distance marker for unreachable (or failed) node pairs.
+const UNREACHABLE: u16 = u16::MAX;
+
+/// A set of failed routers and physical links in a topology.
+#[derive(Clone, Debug)]
+pub struct FaultSet {
+    topo: KAryNCube,
+    failed_nodes: Vec<bool>,
+    failed_channels: Vec<bool>,
+    num_failed_routers: u32,
+    num_failed_links: u32,
+}
+
+impl FaultSet {
+    /// The empty fault set: every router and link of `topo` is healthy.
+    pub fn none(topo: KAryNCube) -> Self {
+        FaultSet {
+            topo,
+            failed_nodes: vec![false; topo.num_nodes() as usize],
+            failed_channels: vec![false; topo.num_channels() as usize],
+            num_failed_routers: 0,
+            num_failed_links: 0,
+        }
+    }
+
+    /// The topology the faults live in.
+    pub fn topology(&self) -> &KAryNCube {
+        &self.topo
+    }
+
+    /// Fail the router at `node` (idempotent).  All channels into and out
+    /// of the node become unusable via [`FaultSet::channel_failed`].
+    pub fn fail_node(&mut self, node: NodeId) {
+        if !self.failed_nodes[node.index()] {
+            self.failed_nodes[node.index()] = true;
+            self.num_failed_routers += 1;
+        }
+    }
+
+    /// Fail the *physical* link carried by `channel` (idempotent).  On
+    /// bidirectional networks the opposite-direction channel of the same
+    /// link fails with it.  Failing a channel that does not exist in the
+    /// topology is a no-op (it already carries no traffic).
+    pub fn fail_link(&mut self, channel: Channel) {
+        if !self.topo.channel_exists(channel) {
+            return;
+        }
+        let id = channel.id(&self.topo).index();
+        if self.failed_channels[id] {
+            return;
+        }
+        self.failed_channels[id] = true;
+        self.num_failed_links += 1;
+        if self.topo.link_kind() == LinkKind::Bidirectional {
+            let reverse = Channel {
+                from: channel.to(&self.topo),
+                dim: channel.dim,
+                direction: match channel.direction {
+                    Direction::Plus => Direction::Minus,
+                    Direction::Minus => Direction::Plus,
+                },
+            };
+            self.failed_channels[reverse.id(&self.topo).index()] = true;
+        }
+    }
+
+    /// Whether the router at `node` has failed.
+    #[inline]
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.failed_nodes[node.index()]
+    }
+
+    /// Whether `channel` is unusable: it does not exist in the topology,
+    /// its physical link failed, or either endpoint router failed.
+    pub fn channel_failed(&self, channel: Channel) -> bool {
+        if !self.topo.channel_exists(channel) {
+            return true;
+        }
+        self.failed_channels[channel.id(&self.topo).index()]
+            || self.failed_nodes[channel.from.index()]
+            || self.failed_nodes[channel.to(&self.topo).index()]
+    }
+
+    /// Number of failed routers.
+    #[inline]
+    pub fn num_failed_routers(&self) -> u32 {
+        self.num_failed_routers
+    }
+
+    /// Number of failed physical links (a bidirectional pair counts once).
+    #[inline]
+    pub fn num_failed_links(&self) -> u32 {
+        self.num_failed_links
+    }
+
+    /// True iff no router or link has failed.
+    pub fn is_empty(&self) -> bool {
+        self.num_failed_routers == 0 && self.num_failed_links == 0
+    }
+}
+
+/// Deterministic fault-aware router: exact shortest surviving paths.
+///
+/// Construction runs one reverse breadth-first search per destination over
+/// the surviving digraph and stores the full `N × N` distance table
+/// (`u16` per pair).  [`FaultRouter::next_hop`] then picks, at each node,
+/// the lowest-[`ChannelId`] surviving out-channel that decreases the
+/// distance to the destination — a deterministic minimal route in the
+/// surviving graph.
+///
+/// [`ChannelId`]: crate::channel::ChannelId
+#[derive(Clone, Debug)]
+pub struct FaultRouter {
+    topo: KAryNCube,
+    faults: FaultSet,
+    /// Destination-major distance table: `dist[dest·N + node]`.
+    dist: Vec<u16>,
+}
+
+impl FaultRouter {
+    /// Build the distance tables for `faults` (which carries its topology).
+    pub fn new(faults: FaultSet) -> Self {
+        let topo = *faults.topology();
+        let nodes = topo.num_nodes() as usize;
+        let mut dist = vec![UNREACHABLE; nodes * nodes];
+        let mut queue = std::collections::VecDeque::with_capacity(nodes);
+        for dest in topo.nodes() {
+            if faults.node_failed(dest) {
+                continue;
+            }
+            let table = &mut dist[dest.index() * nodes..(dest.index() + 1) * nodes];
+            table[dest.index()] = 0;
+            queue.clear();
+            queue.push_back(dest);
+            while let Some(u) = queue.pop_front() {
+                let d = table[u.index()];
+                // Predecessors of `u`: sources of surviving channels into it.
+                for dim in 0..topo.n() {
+                    for (v, direction) in [
+                        (topo.neighbor_minus(u, dim), Direction::Plus),
+                        (topo.neighbor_plus(u, dim), Direction::Minus),
+                    ] {
+                        let c = Channel {
+                            from: v,
+                            dim,
+                            direction,
+                        };
+                        if table[v.index()] == UNREACHABLE && !faults.channel_failed(c) {
+                            table[v.index()] = d + 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+        }
+        FaultRouter { topo, faults, dist }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &KAryNCube {
+        &self.topo
+    }
+
+    /// The fault set the routes avoid.
+    pub fn fault_set(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    #[inline]
+    fn dist_raw(&self, node: NodeId, dest: NodeId) -> u16 {
+        self.dist[dest.index() * self.topo.num_nodes() as usize + node.index()]
+    }
+
+    /// Length in hops of the shortest surviving path from `src` to `dest`,
+    /// or `None` when no such path exists (including when either endpoint
+    /// router has failed).  `Some(0)` iff `src == dest` on a healthy node.
+    pub fn distance(&self, src: NodeId, dest: NodeId) -> Option<u32> {
+        if self.faults.node_failed(src) {
+            return None;
+        }
+        match self.dist_raw(src, dest) {
+            UNREACHABLE => None,
+            d => Some(d as u32),
+        }
+    }
+
+    /// The next hop of the deterministic shortest surviving route at `cur`
+    /// heading for `dest`; `None` when `cur == dest` or `dest` is
+    /// unreachable from `cur`.
+    ///
+    /// The virtual-channel class is a wrap-crossing rule rather than the
+    /// Dally–Seitz dating scheme (whose "remaining path wraps" predicate
+    /// has no meaning on detour routes): a hop gets [`VcClass::Low`] iff it
+    /// crosses a wrap-around link.  Mesh routes therefore use only
+    /// [`VcClass::High`].
+    pub fn next_hop(&self, cur: NodeId, dest: NodeId) -> Option<Hop> {
+        if cur == dest {
+            return None;
+        }
+        let d = self.dist_raw(cur, dest);
+        if d == UNREACHABLE || self.faults.node_failed(cur) {
+            return None;
+        }
+        for dim in 0..self.topo.n() {
+            for direction in [Direction::Plus, Direction::Minus] {
+                let channel = Channel {
+                    from: cur,
+                    dim,
+                    direction,
+                };
+                if self.faults.channel_failed(channel) {
+                    continue;
+                }
+                // `d - 1` rather than `neighbor + 1`: the neighbor may sit
+                // at the UNREACHABLE marker, which must not wrap.
+                if self.dist_raw(channel.to(&self.topo), dest) == d - 1 {
+                    let vc_class = self.hop_class(channel);
+                    return Some(Hop { channel, vc_class });
+                }
+            }
+        }
+        unreachable!("finite BFS distance implies a distance-decreasing out-channel");
+    }
+
+    /// Wrap-crossing virtual-channel class: `Low` iff the hop crosses a
+    /// wrap-around link of its ring.
+    fn hop_class(&self, channel: Channel) -> VcClass {
+        if self.topo.boundary() == Boundary::Mesh {
+            return VcClass::High;
+        }
+        let c = self.topo.coord(channel.from, channel.dim);
+        let wraps = match channel.direction {
+            Direction::Plus => c == self.topo.k() - 1,
+            Direction::Minus => c == 0,
+        };
+        if wraps {
+            VcClass::Low
+        } else {
+            VcClass::High
+        }
+    }
+
+    /// The full deterministic route from `src` to `dest` (empty when
+    /// `src == dest`), or `None` when `dest` is unreachable from `src`.
+    pub fn route(&self, src: NodeId, dest: NodeId) -> Option<Vec<Hop>> {
+        self.distance(src, dest)?;
+        let mut hops = Vec::new();
+        let mut cur = src;
+        while cur != dest {
+            let hop = self
+                .next_hop(cur, dest)
+                .expect("finite distance implies a next hop");
+            cur = hop.channel.to(&self.topo);
+            hops.push(hop);
+        }
+        Some(hops)
+    }
+
+    /// Number of ordered pairs `(src, dest)` with `src != dest` that can
+    /// still communicate.
+    pub fn reachable_pairs(&self) -> u64 {
+        let mut pairs = 0u64;
+        for src in self.topo.nodes() {
+            if self.faults.node_failed(src) {
+                continue;
+            }
+            for dest in self.topo.nodes() {
+                if src != dest && self.dist_raw(src, dest) != UNREACHABLE {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Fraction of the `N(N-1)` ordered pairs that can still communicate
+    /// (1.0 on a fault-free network).
+    pub fn reachable_fraction(&self) -> f64 {
+        let n = self.topo.num_nodes() as u64;
+        self.reachable_pairs() as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Mean detour over the reachable ordered pairs: surviving shortest
+    /// distance minus the fault-free minimal distance
+    /// ([`KAryNCube::hop_count`]).  0.0 when no pair is reachable.
+    pub fn expected_detour(&self) -> f64 {
+        let mut pairs = 0u64;
+        let mut extra = 0u64;
+        for src in self.topo.nodes() {
+            if self.faults.node_failed(src) {
+                continue;
+            }
+            for dest in self.topo.nodes() {
+                if src == dest {
+                    continue;
+                }
+                let d = self.dist_raw(src, dest);
+                if d != UNREACHABLE {
+                    pairs += 1;
+                    extra += d as u64 - self.topo.hop_count(src, dest) as u64;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            extra as f64 / pairs as f64
+        }
+    }
+
+    /// The largest finite distance in the table (0 on a fully-failed
+    /// network) — an upper bound on surviving route lengths, used to size
+    /// per-message hop storage.
+    pub fn max_finite_distance(&self) -> u32 {
+        self.dist
+            .iter()
+            .filter(|&&d| d != UNREACHABLE)
+            .map(|&d| d as u32)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_topologies(k: u32, n: u32) -> Vec<KAryNCube> {
+        vec![
+            KAryNCube::unidirectional(k, n).unwrap(),
+            KAryNCube::bidirectional(k, n).unwrap(),
+            KAryNCube::mesh(k, n).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn empty_fault_set_reproduces_dimension_order_channels() {
+        for t in all_topologies(5, 2).into_iter().chain(all_topologies(4, 2)) {
+            let router = FaultRouter::new(FaultSet::none(t));
+            for src in t.nodes() {
+                for dest in t.nodes() {
+                    assert_eq!(router.distance(src, dest), Some(t.hop_count(src, dest)));
+                    let dor = t.dor_route(src, dest);
+                    let fault_route = router.route(src, dest).unwrap();
+                    let dor_channels: Vec<_> = dor.hops.iter().map(|h| h.channel).collect();
+                    let fr_channels: Vec<_> = fault_route.iter().map(|h| h.channel).collect();
+                    assert_eq!(
+                        dor_channels,
+                        fr_channels,
+                        "{:?} {:?} {:?}→{:?}",
+                        t.link_kind(),
+                        t.boundary(),
+                        t.coords(src),
+                        t.coords(dest)
+                    );
+                }
+            }
+            assert_eq!(router.reachable_fraction(), 1.0);
+            assert_eq!(router.expected_detour(), 0.0);
+            assert_eq!(router.max_finite_distance(), t.max_hops());
+        }
+    }
+
+    #[test]
+    fn mesh_empty_fault_routes_match_dor_exactly_including_classes() {
+        let m = KAryNCube::mesh(4, 3).unwrap();
+        let router = FaultRouter::new(FaultSet::none(m));
+        for src in m.nodes() {
+            for dest in m.nodes() {
+                assert_eq!(
+                    router.route(src, dest).unwrap(),
+                    m.dor_route(src, dest).hops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_router_is_unreachable_and_not_transited() {
+        let t = KAryNCube::bidirectional(4, 2).unwrap();
+        let dead = t.node_at(&[1, 1]);
+        let mut faults = FaultSet::none(t);
+        faults.fail_node(dead);
+        faults.fail_node(dead); // idempotent
+        assert_eq!(faults.num_failed_routers(), 1);
+        let router = FaultRouter::new(faults);
+        for other in t.nodes().filter(|&o| o != dead) {
+            assert_eq!(router.distance(other, dead), None);
+            assert_eq!(router.distance(dead, other), None);
+        }
+        // Surviving routes never visit the dead node.
+        for src in t.nodes().filter(|&s| s != dead) {
+            for dest in t.nodes().filter(|&d| d != dead) {
+                let route = router.route(src, dest).expect("2-D torus is 2-connected");
+                assert!(route.iter().all(|h| h.channel.to(&t) != dead));
+            }
+        }
+        // N-1 healthy nodes all still talk: (N-1)(N-2) ordered pairs.
+        assert_eq!(router.reachable_pairs(), 15 * 14);
+    }
+
+    #[test]
+    fn bidirectional_link_failure_kills_both_directions() {
+        let t = KAryNCube::bidirectional(4, 1).unwrap();
+        let mut faults = FaultSet::none(t);
+        let forward = Channel {
+            from: NodeId(1),
+            dim: 0,
+            direction: Direction::Plus,
+        };
+        faults.fail_link(forward);
+        assert_eq!(faults.num_failed_links(), 1);
+        assert!(faults.channel_failed(forward));
+        assert!(faults.channel_failed(Channel {
+            from: NodeId(2),
+            dim: 0,
+            direction: Direction::Minus,
+        }));
+        // The ring minus one link is a path: everyone still reachable, the
+        // 1↔2 pairs detour the long way round (3 hops instead of 1).
+        let router = FaultRouter::new(faults);
+        assert_eq!(router.reachable_fraction(), 1.0);
+        assert_eq!(router.distance(NodeId(1), NodeId(2)), Some(3));
+        assert_eq!(router.distance(NodeId(2), NodeId(1)), Some(3));
+        // Mean detour: 2 of the 12 ordered pairs gained 2 hops each.
+        assert!((router.expected_detour() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unidirectional_link_failure_disconnects_the_ring() {
+        // A unidirectional ring has exactly one path between any pair, so a
+        // single link failure severs every pair that used it.
+        let t = KAryNCube::unidirectional(4, 1).unwrap();
+        let mut faults = FaultSet::none(t);
+        faults.fail_link(Channel {
+            from: NodeId(0),
+            dim: 0,
+            direction: Direction::Plus,
+        });
+        let router = FaultRouter::new(faults);
+        assert_eq!(router.distance(NodeId(0), NodeId(1)), None);
+        assert_eq!(router.distance(NodeId(3), NodeId(1)), None);
+        assert_eq!(router.distance(NodeId(1), NodeId(0)), Some(3));
+        // Pairs not crossing 0→1 survive: (1,2),(1,3),(1,0),(2,3),(2,0),(3,0).
+        assert_eq!(router.reachable_pairs(), 6);
+    }
+
+    #[test]
+    fn failing_nonexistent_channels_is_a_noop() {
+        let m = KAryNCube::mesh(3, 2).unwrap();
+        let mut faults = FaultSet::none(m);
+        // Wrap-around channel of a mesh: does not exist.
+        faults.fail_link(Channel {
+            from: m.node_at(&[2, 0]),
+            dim: 0,
+            direction: Direction::Plus,
+        });
+        assert_eq!(faults.num_failed_links(), 0);
+        assert!(faults.is_empty());
+        let u = KAryNCube::unidirectional(3, 1).unwrap();
+        let mut faults = FaultSet::none(u);
+        faults.fail_link(Channel {
+            from: NodeId(0),
+            dim: 0,
+            direction: Direction::Minus,
+        });
+        assert_eq!(faults.num_failed_links(), 0);
+    }
+
+    #[test]
+    fn detour_routes_are_minimal_in_the_surviving_graph() {
+        // Mesh corner cut off except one path: routes must still be BFS
+        // shortest.  Fail the two links next to corner (0,0)'s neighbors so
+        // reaching it requires a specific detour.
+        let m = KAryNCube::mesh(3, 2).unwrap();
+        let mut faults = FaultSet::none(m);
+        faults.fail_link(Channel {
+            from: m.node_at(&[0, 0]),
+            dim: 0,
+            direction: Direction::Plus,
+        });
+        let router = FaultRouter::new(faults);
+        // (0,0) → (1,0) must now go up, right, down: 3 hops.
+        assert_eq!(
+            router.distance(m.node_at(&[0, 0]), m.node_at(&[1, 0])),
+            Some(3)
+        );
+        let route = router
+            .route(m.node_at(&[0, 0]), m.node_at(&[1, 0]))
+            .unwrap();
+        assert_eq!(route.len(), 3);
+        assert!(route
+            .iter()
+            .all(|h| !router.fault_set().channel_failed(h.channel)));
+        assert!(route.iter().all(|h| h.vc_class == VcClass::High));
+    }
+
+    #[test]
+    fn next_hop_walk_matches_route_and_terminates() {
+        let t = KAryNCube::bidirectional(5, 2).unwrap();
+        let mut faults = FaultSet::none(t);
+        faults.fail_node(NodeId(7));
+        faults.fail_link(Channel {
+            from: NodeId(3),
+            dim: 1,
+            direction: Direction::Plus,
+        });
+        let router = FaultRouter::new(faults);
+        for src in t.nodes() {
+            for dest in t.nodes() {
+                match router.route(src, dest) {
+                    None => assert_eq!(router.next_hop(src, dest), None),
+                    Some(route) => {
+                        let mut cur = src;
+                        for hop in &route {
+                            assert_eq!(router.next_hop(cur, dest).as_ref(), Some(hop));
+                            cur = hop.channel.to(&t);
+                        }
+                        assert_eq!(router.next_hop(cur, dest), None);
+                        assert_eq!(route.len() as u32, router.distance(src, dest).unwrap());
+                    }
+                }
+            }
+        }
+    }
+}

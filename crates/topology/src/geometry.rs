@@ -48,6 +48,18 @@ pub enum LinkKind {
     Bidirectional,
 }
 
+/// Whether each dimension wraps around (torus) or terminates at its edges
+/// (mesh).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Boundary {
+    /// Coordinate `k-1` connects back to coordinate `0`: the k-ary n-cube
+    /// proper (the paper's case).
+    Torus,
+    /// No wrap-around links: an n-dimensional `k × … × k` mesh.  Requires
+    /// bidirectional links (a unidirectional mesh is disconnected).
+    Mesh,
+}
+
 /// Errors constructing a topology.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TopologyError {
@@ -57,9 +69,12 @@ pub enum TopologyError {
     BadDimensionCount,
     /// `k^n` overflows the node-id space.
     TooManyNodes,
-    /// The requested analysis only covers one link kind (e.g. hot-spot
-    /// geometry is defined for unidirectional links).
-    UnsupportedLinkKind,
+    /// The requested link-kind/boundary combination is not supported by the
+    /// operation named in `context`.
+    UnsupportedLinkKind {
+        /// The call site or configuration that rejected the combination.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -70,8 +85,8 @@ impl fmt::Display for TopologyError {
                 write!(f, "dimension count n must be in 1..={MAX_DIMS}")
             }
             TopologyError::TooManyNodes => write!(f, "k^n exceeds the supported node-id space"),
-            TopologyError::UnsupportedLinkKind => {
-                write!(f, "this analysis covers only unidirectional links")
+            TopologyError::UnsupportedLinkKind { context } => {
+                write!(f, "unsupported link kind: {context}")
             }
         }
     }
@@ -86,6 +101,7 @@ pub struct KAryNCube {
     n: u32,
     nodes: u32,
     links: LinkKind,
+    boundary: Boundary,
 }
 
 impl KAryNCube {
@@ -100,13 +116,36 @@ impl KAryNCube {
         Self::new(k, n, LinkKind::Bidirectional)
     }
 
-    /// Create a k-ary n-cube with the given link kind.
+    /// Create a bidirectional n-dimensional `k × … × k` mesh (no
+    /// wrap-around links).
+    pub fn mesh(k: u32, n: u32) -> Result<Self, TopologyError> {
+        Self::with_boundary(k, n, LinkKind::Bidirectional, Boundary::Mesh)
+    }
+
+    /// Create a k-ary n-cube torus with the given link kind.
     pub fn new(k: u32, n: u32, links: LinkKind) -> Result<Self, TopologyError> {
+        Self::with_boundary(k, n, links, Boundary::Torus)
+    }
+
+    /// Create a topology with the given link kind and boundary condition.
+    pub fn with_boundary(
+        k: u32,
+        n: u32,
+        links: LinkKind,
+        boundary: Boundary,
+    ) -> Result<Self, TopologyError> {
         if k < 2 {
             return Err(TopologyError::RadixTooSmall);
         }
         if n == 0 || n as usize > MAX_DIMS {
             return Err(TopologyError::BadDimensionCount);
+        }
+        if boundary == Boundary::Mesh && links == LinkKind::Unidirectional {
+            return Err(TopologyError::UnsupportedLinkKind {
+                context: "KAryNCube::with_boundary: a unidirectional mesh is disconnected \
+                          (edge nodes would have no route back); meshes require \
+                          LinkKind::Bidirectional",
+            });
         }
         let mut nodes: u64 = 1;
         for _ in 0..n {
@@ -122,6 +161,7 @@ impl KAryNCube {
             n,
             nodes: nodes as u32,
             links,
+            boundary,
         })
     }
 
@@ -149,8 +189,19 @@ impl KAryNCube {
         self.links
     }
 
+    /// The boundary condition (torus for the paper's analysis).
+    #[inline]
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
     /// Number of outgoing network channels per node (`n` for unidirectional,
     /// `2n` for bidirectional); injection/ejection channels are not counted.
+    ///
+    /// Meshes keep the bidirectional channel-id space — wrap-around channel
+    /// ids exist but name links that are not physically present (see
+    /// [`KAryNCube::channel_exists`]), so flat per-channel tables stay
+    /// rectangular across boundary conditions.
     #[inline]
     pub fn channels_per_node(&self) -> u32 {
         match self.links {
@@ -249,32 +300,84 @@ impl KAryNCube {
         }
     }
 
+    /// The signed per-ring offset dimension-order routing actually takes
+    /// from coordinate `from` to `to` under this topology's link kind and
+    /// boundary: the forward distance for the unidirectional torus, the
+    /// shortest signed offset for the bidirectional torus (ties positive),
+    /// and the plain difference `to - from` for the mesh (no wrap-around
+    /// exists to take).
+    pub fn ring_offset_routed(&self, from: u32, to: u32) -> i64 {
+        match (self.boundary, self.links) {
+            (Boundary::Mesh, _) => to as i64 - from as i64,
+            (Boundary::Torus, LinkKind::Unidirectional) => {
+                self.ring_distance_forward(from, to) as i64
+            }
+            (Boundary::Torus, LinkKind::Bidirectional) => self.ring_offset_shortest(from, to),
+        }
+    }
+
+    /// Whether the physical channel `(from, dim, direction)` exists in this
+    /// topology.  Unidirectional networks have no `Minus` channels; meshes
+    /// have no wrap-around channels (`Plus` out of coordinate `k-1`,
+    /// `Minus` out of coordinate `0`).  The channel-id space still contains
+    /// ids for the missing channels (tables stay rectangular); they simply
+    /// carry no traffic.
+    pub fn channel_exists(&self, channel: crate::channel::Channel) -> bool {
+        use crate::channel::Direction;
+        if self.links == LinkKind::Unidirectional && channel.direction == Direction::Minus {
+            return false;
+        }
+        if self.boundary == Boundary::Mesh {
+            let c = self.coord(channel.from, channel.dim);
+            match channel.direction {
+                Direction::Plus => c + 1 < self.k,
+                Direction::Minus => c > 0,
+            }
+        } else {
+            true
+        }
+    }
+
     /// Number of channels a dimension-order-routed message from `src` to
-    /// `dest` crosses (its hop count), given the configured link kind.
+    /// `dest` crosses (its hop count), given the configured link kind and
+    /// boundary.
     pub fn hop_count(&self, src: NodeId, dest: NodeId) -> u32 {
         let mut hops = 0u32;
         for d in 0..self.n {
             let (a, b) = (self.coord(src, d), self.coord(dest, d));
-            hops += match self.links {
-                LinkKind::Unidirectional => self.ring_distance_forward(a, b),
-                LinkKind::Bidirectional => self.ring_offset_shortest(a, b).unsigned_abs() as u32,
-            };
+            hops += self.ring_offset_routed(a, b).unsigned_abs() as u32;
         }
         hops
     }
 
-    /// Mean hops per dimension for uniformly-distributed destinations,
-    /// Eq. (1) of the paper: `k̄ = Σ_{i=1}^{k-1} i/k = (k-1)/2`
+    /// The longest dimension-order route in the network (hops): `n(k-1)`
+    /// for the unidirectional torus and the mesh, `n⌊k/2⌋` for the
+    /// bidirectional torus.
+    pub fn max_hops(&self) -> u32 {
+        let per_dim = match (self.boundary, self.links) {
+            (Boundary::Torus, LinkKind::Bidirectional) => self.k / 2,
+            _ => self.k - 1,
+        };
+        self.n * per_dim
+    }
+
+    /// Mean hops per dimension for uniformly-distributed source/destination
+    /// pairs, Eq. (1) of the paper: `k̄ = Σ_{i=1}^{k-1} i/k = (k-1)/2`
     /// (unidirectional links; the average includes destinations that need no
     /// movement in the dimension).
     pub fn mean_hops_per_dim(&self) -> f64 {
+        let k = self.k as f64;
+        if self.boundary == Boundary::Mesh {
+            // Mean |a - b| over independent uniform coordinates a, b:
+            // (k² - 1)/(3k).
+            return (k * k - 1.0) / (3.0 * k);
+        }
         match self.links {
-            LinkKind::Unidirectional => (self.k as f64 - 1.0) / 2.0,
+            LinkKind::Unidirectional => (k - 1.0) / 2.0,
             // For bidirectional links the mean of |shortest offset| over a
             // uniform destination coordinate: k/4 for even k, (k²-1)/(4k)
             // for odd k.
             LinkKind::Bidirectional => {
-                let k = self.k as f64;
                 if self.k.is_multiple_of(2) {
                     k / 4.0
                 } else {
@@ -412,6 +515,93 @@ mod tests {
         // x: 1→4 is 3 hops; y: 4→2 is 4 hops (wrap).
         assert_eq!(t.hop_count(s, d), 7);
         assert_eq!(t.hop_count(s, s), 0);
+    }
+
+    #[test]
+    fn mesh_requires_bidirectional_links() {
+        let err =
+            KAryNCube::with_boundary(4, 2, LinkKind::Unidirectional, Boundary::Mesh).unwrap_err();
+        assert!(matches!(err, TopologyError::UnsupportedLinkKind { .. }));
+        // The context names the offending call site, not generic text.
+        assert!(format!("{err}").contains("with_boundary"));
+        assert!(KAryNCube::mesh(4, 2).is_ok());
+    }
+
+    #[test]
+    fn mesh_channels_exist_except_wraparound() {
+        use crate::channel::{Channel, Direction};
+        let m = KAryNCube::mesh(4, 2).unwrap();
+        let t = KAryNCube::bidirectional(4, 2).unwrap();
+        let mut missing = 0;
+        for from in m.nodes() {
+            for dim in 0..m.n() {
+                for direction in [Direction::Plus, Direction::Minus] {
+                    let c = Channel {
+                        from,
+                        dim,
+                        direction,
+                    };
+                    assert!(t.channel_exists(c), "torus has every channel");
+                    let wrap = (direction == Direction::Plus && m.coord(from, dim) == 3)
+                        || (direction == Direction::Minus && m.coord(from, dim) == 0);
+                    assert_eq!(m.channel_exists(c), !wrap);
+                    if wrap {
+                        missing += 1;
+                    }
+                }
+            }
+        }
+        // 2 wrap channels per ring, k rings per dimension, 2 dimensions.
+        assert_eq!(missing, 2 * 4 * 2);
+        // Unidirectional networks have no Minus channels at all.
+        let u = KAryNCube::unidirectional(4, 2).unwrap();
+        let minus = Channel {
+            from: NodeId(0),
+            dim: 0,
+            direction: Direction::Minus,
+        };
+        assert!(!u.channel_exists(minus));
+    }
+
+    #[test]
+    fn mesh_offsets_never_wrap() {
+        let m = KAryNCube::mesh(8, 1).unwrap();
+        assert_eq!(m.ring_offset_routed(0, 5), 5);
+        assert_eq!(m.ring_offset_routed(5, 0), -5);
+        assert_eq!(m.ring_offset_routed(7, 0), -7);
+        // Torus counterparts for contrast.
+        let t = KAryNCube::bidirectional(8, 1).unwrap();
+        assert_eq!(t.ring_offset_routed(0, 5), -3);
+        assert_eq!(t.ring_offset_routed(7, 0), 1);
+        let u = KAryNCube::unidirectional(8, 1).unwrap();
+        assert_eq!(u.ring_offset_routed(5, 0), 3);
+    }
+
+    #[test]
+    fn mesh_hop_count_is_manhattan_distance() {
+        let m = KAryNCube::mesh(5, 2).unwrap();
+        let s = m.node_at(&[0, 4]);
+        let d = m.node_at(&[4, 1]);
+        assert_eq!(m.hop_count(s, d), 4 + 3);
+        assert_eq!(m.max_hops(), 8);
+        assert_eq!(KAryNCube::bidirectional(8, 2).unwrap().max_hops(), 8);
+        assert_eq!(KAryNCube::unidirectional(8, 2).unwrap().max_hops(), 14);
+    }
+
+    #[test]
+    fn mesh_mean_hops_matches_enumeration() {
+        for k in [2u32, 3, 4, 5, 8] {
+            let m = KAryNCube::mesh(k, 2).unwrap();
+            let total: i64 = (0..k)
+                .flat_map(|a| (0..k).map(move |b| (a as i64 - b as i64).abs()))
+                .sum();
+            let mean = total as f64 / (k * k) as f64;
+            assert!(
+                (mean - m.mean_hops_per_dim()).abs() < 1e-12,
+                "k={k}: enumerated {mean} vs formula {}",
+                m.mean_hops_per_dim()
+            );
+        }
     }
 
     #[test]

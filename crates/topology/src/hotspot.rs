@@ -33,7 +33,7 @@
 //! tests, for 2-D and higher-dimensional cubes alike.
 
 use crate::channel::{Channel, Direction};
-use crate::geometry::{KAryNCube, LinkKind, NodeId, TopologyError};
+use crate::geometry::{Boundary, KAryNCube, LinkKind, NodeId};
 use crate::ring::Ring;
 
 /// Dimension index of the paper's `x` dimension.
@@ -65,7 +65,13 @@ pub enum SourceClass {
     },
 }
 
-/// Hot-spot geometry helper for a unidirectional k-ary n-cube.
+/// Hot-spot geometry helper for any k-ary n-cube or mesh.
+///
+/// The paper's closed forms ([`HotSpotGeometry::p_hot`] and friends) are
+/// the unidirectional-torus instances; the generalized per-channel form is
+/// [`HotSpotGeometry::p_hot_channel`], which covers bidirectional tori
+/// (signed shortest-path offsets, ties positive) and meshes (no
+/// wrap-around) as well.
 #[derive(Clone, Copy, Debug)]
 pub struct HotSpotGeometry {
     topo: KAryNCube,
@@ -73,15 +79,12 @@ pub struct HotSpotGeometry {
 }
 
 impl HotSpotGeometry {
-    /// Build the geometry; the topology must be unidirectional (the
-    /// configuration the paper's analysis covers — any dimension count is
-    /// accepted).
-    pub fn new(topo: KAryNCube, hot: NodeId) -> Result<Self, TopologyError> {
-        if topo.link_kind() != LinkKind::Unidirectional {
-            // The analysis "considers only the uni-directional case".
-            return Err(TopologyError::UnsupportedLinkKind);
-        }
-        Ok(HotSpotGeometry { topo, hot })
+    /// Build the geometry.  Every link kind and boundary is supported: the
+    /// unidirectional torus is the paper's analysis, the bidirectional
+    /// torus and the mesh use the generalized per-channel fractions of
+    /// [`HotSpotGeometry::p_hot_channel`].
+    pub fn new(topo: KAryNCube, hot: NodeId) -> Self {
+        HotSpotGeometry { topo, hot }
     }
 
     /// The underlying topology.
@@ -230,7 +233,7 @@ impl HotSpotGeometry {
     /// ```
     /// use kncube_topology::{HotSpotGeometry, KAryNCube, NodeId};
     /// let t = KAryNCube::unidirectional(16, 2).unwrap();
-    /// let g = HotSpotGeometry::new(t, NodeId(0)).unwrap();
+    /// let g = HotSpotGeometry::new(t, NodeId(0));
     /// // The last channel into the hot node serves k(k-1) = 240 of the
     /// // 256 nodes (everyone outside the hot node's own x-ring).
     /// assert_eq!(g.p_hy(1), 240.0 / 256.0);
@@ -238,6 +241,85 @@ impl HotSpotGeometry {
     /// ```
     pub fn p_hy(&self, j: u32) -> f64 {
         self.p_hot(DIM_Y, j)
+    }
+
+    /// Number of source *coordinates* in `channel`'s own ring whose
+    /// dimension-order movement towards the hot coordinate crosses
+    /// `channel`, for any link kind and boundary.  The channel's ring is
+    /// assumed to be a hot ring of its dimension (lower coordinates
+    /// matching the hot node's — [`HotSpotGeometry::p_hot_channel`] checks
+    /// that); channels that do not exist count zero sources.
+    ///
+    /// Closed forms, with `c` the channel's source coordinate, `H` the hot
+    /// coordinate, `j = (H - c) mod k` the forward and `b = (c - H) mod k`
+    /// the backward distance:
+    ///
+    /// * unidirectional torus, `Plus`: `k - j` (`j = 0` reads as `k`, the
+    ///   paper's Eqs. 4–5);
+    /// * bidirectional torus, `Plus`: `⌊k/2⌋ - j + 1` for
+    ///   `1 <= j <= ⌊k/2⌋` (sources whose shortest signed offset is
+    ///   positive and reaches past the channel; ties route positive);
+    /// * bidirectional torus, `Minus`: `⌈k/2⌉ - b` for
+    ///   `1 <= b <= ⌈k/2⌉ - 1`;
+    /// * mesh, `Plus`: `c + 1` when `c < H` (every coordinate at or below
+    ///   `c` routes up through the channel); `Minus`: `k - c` when
+    ///   `c > H`.
+    pub fn hot_sources_in_ring(&self, channel: Channel) -> u32 {
+        if !self.topo.channel_exists(channel) {
+            return 0;
+        }
+        let k = self.topo.k();
+        let c = self.topo.coord(channel.from, channel.dim);
+        let h = self.topo.coord(self.hot, channel.dim);
+        match (self.topo.boundary(), self.topo.link_kind()) {
+            (Boundary::Torus, LinkKind::Unidirectional) => {
+                let j = self.paper_distance(self.topo.ring_distance_forward(c, h));
+                k - j
+            }
+            (Boundary::Torus, LinkKind::Bidirectional) => match channel.direction {
+                Direction::Plus => {
+                    let j = self.topo.ring_distance_forward(c, h);
+                    if (1..=k / 2).contains(&j) {
+                        k / 2 - j + 1
+                    } else {
+                        0
+                    }
+                }
+                Direction::Minus => {
+                    let b = self.topo.ring_distance_forward(h, c);
+                    let half_up = k.div_ceil(2);
+                    if b >= 1 && b < half_up {
+                        half_up - b
+                    } else {
+                        0
+                    }
+                }
+            },
+            (Boundary::Mesh, _) => match channel.direction {
+                Direction::Plus if c < h => c + 1,
+                Direction::Minus if c > h => k - c,
+                _ => 0,
+            },
+        }
+    }
+
+    /// Generalized per-channel hot-spot fraction: the fraction of system
+    /// nodes whose dimension-order route to the hot node crosses
+    /// `channel`, for any link kind and boundary.  Zero for channels that
+    /// do not exist and for channels outside the hot rings (lower
+    /// coordinates must match the hot node's, because dimension-order
+    /// routing corrects lower dimensions first).  On the unidirectional
+    /// torus this coincides with [`HotSpotGeometry::p_hot`] at the
+    /// channel's paper distance.
+    pub fn p_hot_channel(&self, channel: Channel) -> f64 {
+        for lower in 0..channel.dim {
+            if self.topo.coord(channel.from, lower) != self.topo.coord(self.hot, lower) {
+                return 0.0;
+            }
+        }
+        let lower_rings = (self.topo.k() as u64).pow(channel.dim);
+        (lower_rings * self.hot_sources_in_ring(channel) as u64) as f64
+            / self.topo.num_nodes() as f64
     }
 
     /// Brute-force count of the source nodes whose dimension-order route to
@@ -265,21 +347,34 @@ mod tests {
     fn geometry(k: u32, hot: &[u32]) -> HotSpotGeometry {
         let t = KAryNCube::unidirectional(k, 2).unwrap();
         let hot = t.node_at(hot);
-        HotSpotGeometry::new(t, hot).unwrap()
+        HotSpotGeometry::new(t, hot)
     }
 
     #[test]
-    fn accepts_any_dimension_rejects_bidirectional() {
+    fn accepts_any_dimension_and_link_kind() {
         let t3 = KAryNCube::unidirectional(4, 3).unwrap();
-        let g3 = HotSpotGeometry::new(t3, NodeId(0)).unwrap();
+        let g3 = HotSpotGeometry::new(t3, NodeId(0));
         // The 2-D source taxonomy has no meaning off n = 2.
         assert_eq!(g3.classify_source(NodeId(1)), None);
-        let t1 = KAryNCube::unidirectional(7, 1).unwrap();
-        assert!(HotSpotGeometry::new(t1, NodeId(3)).is_ok());
+        // Bidirectional tori and meshes are first-class now; their hot
+        // fractions flow through p_hot_channel.
         let tb = KAryNCube::bidirectional(4, 2).unwrap();
-        assert_eq!(
-            HotSpotGeometry::new(tb, NodeId(0)).unwrap_err(),
-            TopologyError::UnsupportedLinkKind
+        let gb = HotSpotGeometry::new(tb, NodeId(0));
+        assert!(
+            gb.p_hot_channel(Channel {
+                from: tb.node_at(&[3, 0]),
+                dim: DIM_X,
+                direction: Direction::Plus,
+            }) > 0.0
+        );
+        let tm = KAryNCube::mesh(4, 2).unwrap();
+        let gm = HotSpotGeometry::new(tm, tm.node_at(&[3, 3]));
+        assert!(
+            gm.p_hot_channel(Channel {
+                from: tm.node_at(&[0, 3]),
+                dim: DIM_X,
+                direction: Direction::Plus,
+            }) > 0.0
         );
     }
 
@@ -373,7 +468,7 @@ mod tests {
     fn distance_profile_matches_route_structure() {
         let t = KAryNCube::unidirectional(4, 3).unwrap();
         let hot = t.node_at(&[1, 2, 3]);
-        let g = HotSpotGeometry::new(t, hot).unwrap();
+        let g = HotSpotGeometry::new(t, hot);
         for src in t.nodes() {
             let profile = g.distance_profile(src);
             let route = t.dor_route(src, hot);
@@ -441,7 +536,7 @@ mod tests {
         for (k, n) in [(3u32, 3u32), (4, 3), (2, 4)] {
             let t = KAryNCube::unidirectional(k, n).unwrap();
             let hot = NodeId(t.num_nodes() / 3);
-            let g = HotSpotGeometry::new(t, hot).unwrap();
+            let g = HotSpotGeometry::new(t, hot);
             let nodes = t.num_nodes() as f64;
             for from in t.nodes() {
                 for dim in 0..n {
@@ -459,6 +554,79 @@ mod tests {
                         (counted - expected).abs() < 1e-12,
                         "k={k} n={n} dim={dim} from {:?}: bruteforce {counted} vs {expected}",
                         t.coords(from)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Brute-force check of the generalized per-channel fractions on every
+    /// channel of `topo` (both directions), hot node at `hot`.
+    fn check_p_hot_channel_bruteforce(topo: KAryNCube, hot: NodeId) {
+        let g = HotSpotGeometry::new(topo, hot);
+        let nodes = topo.num_nodes() as f64;
+        for from in topo.nodes() {
+            for dim in 0..topo.n() {
+                for direction in [Direction::Plus, Direction::Minus] {
+                    let c = Channel {
+                        from,
+                        dim,
+                        direction,
+                    };
+                    let counted = g.count_hot_sources_crossing(c) as f64 / nodes;
+                    let expected = g.p_hot_channel(c);
+                    assert!(
+                        (counted - expected).abs() < 1e-12,
+                        "{:?} {:?} dim={dim} {direction:?} from {:?}: \
+                         bruteforce {counted} vs closed form {expected}",
+                        topo.link_kind(),
+                        topo.boundary(),
+                        topo.coords(from)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_hot_channel_matches_bruteforce_on_bidirectional_tori() {
+        for (k, n) in [(3u32, 2u32), (4, 2), (5, 2), (8, 2), (3, 3), (2, 4)] {
+            let t = KAryNCube::bidirectional(k, n).unwrap();
+            check_p_hot_channel_bruteforce(t, NodeId(t.num_nodes() / 3));
+        }
+    }
+
+    #[test]
+    fn p_hot_channel_matches_bruteforce_on_meshes() {
+        for (k, n) in [(3u32, 2u32), (4, 2), (5, 2), (8, 2), (3, 3), (2, 4)] {
+            let t = KAryNCube::mesh(k, n).unwrap();
+            // Off-center hot nodes exercise the asymmetric mesh counts.
+            check_p_hot_channel_bruteforce(t, NodeId(t.num_nodes() / 3));
+            check_p_hot_channel_bruteforce(t, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn p_hot_channel_reduces_to_paper_form_on_unidirectional_tori() {
+        for (k, n) in [(4u32, 2u32), (5, 2), (3, 3)] {
+            let t = KAryNCube::unidirectional(k, n).unwrap();
+            let g = HotSpotGeometry::new(t, NodeId(t.num_nodes() / 2));
+            check_p_hot_channel_bruteforce(t, NodeId(t.num_nodes() / 2));
+            for from in t.nodes() {
+                for dim in 0..n {
+                    let c = Channel {
+                        from,
+                        dim,
+                        direction: Direction::Plus,
+                    };
+                    let expected = match g.hot_channel_distance(c) {
+                        Some(j) => g.p_hot(dim, j),
+                        None => 0.0,
+                    };
+                    assert_eq!(
+                        g.p_hot_channel(c).to_bits(),
+                        expected.to_bits(),
+                        "generalized form must be bit-identical to Eqs. 4-5"
                     );
                 }
             }

@@ -23,13 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod faults;
 pub mod geometry;
 pub mod hotspot;
 pub mod ring;
 pub mod routing;
 
 pub use channel::{Channel, ChannelId, Direction};
-pub use geometry::{KAryNCube, LinkKind, NodeId, TopologyError};
+pub use faults::{FaultRouter, FaultSet};
+pub use geometry::{Boundary, KAryNCube, LinkKind, NodeId, TopologyError};
 pub use hotspot::HotSpotGeometry;
 pub use ring::{Ring, RingId};
 pub use routing::{DorRoute, Hop, VcClass};

@@ -15,7 +15,7 @@
 //! deadlock-freedom argument for wormhole tori.
 
 use crate::channel::{Channel, Direction};
-use crate::geometry::{KAryNCube, LinkKind, NodeId};
+use crate::geometry::{KAryNCube, NodeId};
 
 /// Dally–Seitz virtual-channel class within a ring.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -93,21 +93,17 @@ impl DorRoute {
 
 impl KAryNCube {
     /// Direction of travel for dimension `dim` from `src` to `dest` under
-    /// this topology's link kind, or `None` if no movement is needed.
+    /// this topology's link kind and boundary, or `None` if no movement is
+    /// needed.
     pub fn travel_direction(&self, src: NodeId, dest: NodeId, dim: u32) -> Option<Direction> {
         let (a, b) = (self.coord(src, dim), self.coord(dest, dim));
         if a == b {
             return None;
         }
-        Some(match self.link_kind() {
-            LinkKind::Unidirectional => Direction::Plus,
-            LinkKind::Bidirectional => {
-                if self.ring_offset_shortest(a, b) > 0 {
-                    Direction::Plus
-                } else {
-                    Direction::Minus
-                }
-            }
+        Some(if self.ring_offset_routed(a, b) > 0 {
+            Direction::Plus
+        } else {
+            Direction::Minus
         })
     }
 
@@ -273,6 +269,45 @@ mod tests {
         assert_eq!(t.hop_count(src, dest), 5);
         assert!(route.hops[0].channel.direction == Direction::Minus);
         assert!(route.hops[2].channel.direction == Direction::Plus);
+    }
+
+    #[test]
+    fn mesh_routes_are_minimal_and_never_wrap() {
+        let m = KAryNCube::mesh(5, 2).unwrap();
+        for src in m.nodes() {
+            for dest in m.nodes() {
+                let route = m.dor_route(src, dest);
+                assert_eq!(route.len() as u32, m.hop_count(src, dest));
+                let mut cur = src;
+                for hop in &route.hops {
+                    assert!(m.channel_exists(hop.channel), "mesh route used a wrap link");
+                    // No wrap-around exists, so no hop ever needs the Low
+                    // (dating) class — the mesh is deadlock-free on High
+                    // alone.
+                    assert_eq!(hop.vc_class, VcClass::High);
+                    assert_eq!(hop.channel.from, cur);
+                    cur = hop.channel.to(&m);
+                }
+                assert_eq!(cur, dest);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_incremental_routing_agrees_with_full_route() {
+        let m = KAryNCube::mesh(4, 3).unwrap();
+        for src in m.nodes() {
+            for dest in m.nodes() {
+                let route = m.dor_route(src, dest);
+                let mut cur = src;
+                for hop in &route.hops {
+                    let next = m.dor_next_hop(cur, dest).expect("hop expected");
+                    assert_eq!(&next, hop);
+                    cur = next.channel.to(&m);
+                }
+                assert_eq!(m.dor_next_hop(cur, dest), None);
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //! `(k, n)` up to `k = 16`, `n = 4`.
 
 use kncube_topology::hotspot::{DIM_X, DIM_Y};
-use kncube_topology::{Channel, Direction, HotSpotGeometry, KAryNCube, NodeId, VcClass};
+use kncube_topology::{
+    Boundary, Channel, Direction, FaultRouter, FaultSet, HotSpotGeometry, KAryNCube, NodeId,
+    VcClass,
+};
 use proptest::prelude::*;
+use std::collections::VecDeque;
 
 /// Strategy over modest unidirectional 2-D tori plus a hot-spot node.
 fn torus_and_hot() -> impl Strategy<Value = (KAryNCube, u32)> {
@@ -36,7 +40,179 @@ fn ncube_and_pair() -> impl Strategy<Value = (KAryNCube, u32, u32)> {
     })
 }
 
+/// Strategy over bidirectional k-ary n-cubes (tori and meshes) plus a pair
+/// of node ids.
+fn bidirectional_and_pair() -> impl Strategy<Value = (KAryNCube, u32, u32)> {
+    (2u32..=9, 1u32..=3, proptest::bool::ANY).prop_flat_map(|(k, n, mesh)| {
+        let t = if mesh {
+            KAryNCube::mesh(k, n).unwrap()
+        } else {
+            KAryNCube::bidirectional(k, n).unwrap()
+        };
+        let nodes = t.num_nodes();
+        (Just(t), 0..nodes, 0..nodes)
+    })
+}
+
+/// Strategy over faulty networks: a small topology of any link kind and
+/// boundary plus a random fault set (router and physical-link failures
+/// drawn from explicit index lists, so shrinking peels faults off one by
+/// one).
+fn faulty_network() -> impl Strategy<Value = FaultSet> {
+    (2u32..=6, 1u32..=3, 0u8..3).prop_flat_map(|(k, n, kind)| {
+        let t = match kind {
+            0 => KAryNCube::unidirectional(k, n).unwrap(),
+            1 => KAryNCube::bidirectional(k, n).unwrap(),
+            _ => KAryNCube::mesh(k, n).unwrap(),
+        };
+        let nodes = t.num_nodes();
+        (
+            Just(t),
+            proptest::collection::vec(0..nodes, 0..=3),
+            proptest::collection::vec((0..nodes, 0..n), 0..=4),
+        )
+            .prop_map(|(t, dead_nodes, dead_links)| {
+                let mut faults = FaultSet::none(t);
+                for node in dead_nodes {
+                    faults.fail_node(NodeId(node));
+                }
+                for (node, dim) in dead_links {
+                    faults.fail_link(Channel {
+                        from: NodeId(node),
+                        dim,
+                        direction: Direction::Plus,
+                    });
+                }
+                faults
+            })
+    })
+}
+
+/// Reference BFS distance over the surviving digraph, using only the
+/// fault set's public element predicates (the fully independent explicit
+/// graph oracle lives in `tests/fault_oracle.rs`).
+fn bfs_surviving_distance(faults: &FaultSet, src: NodeId, dest: NodeId) -> Option<u32> {
+    let t = *faults.topology();
+    if faults.node_failed(src) {
+        return None;
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; t.num_nodes() as usize];
+    dist[src.index()] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].unwrap();
+        for dim in 0..t.n() {
+            for direction in [Direction::Plus, Direction::Minus] {
+                let c = Channel {
+                    from: u,
+                    dim,
+                    direction,
+                };
+                if !faults.channel_failed(c) && dist[c.to(&t).index()].is_none() {
+                    dist[c.to(&t).index()] = Some(d + 1);
+                    queue.push_back(c.to(&t));
+                }
+            }
+        }
+    }
+    dist[dest.index()]
+}
+
 proptest! {
+    #[test]
+    fn fault_routes_never_traverse_failed_elements(faults in faulty_network(), a in 0u32..216, b in 0u32..216) {
+        let t = *faults.topology();
+        let (src, dest) = (NodeId(a % t.num_nodes()), NodeId(b % t.num_nodes()));
+        let router = FaultRouter::new(faults);
+        if let Some(route) = router.route(src, dest) {
+            let mut cur = src;
+            for hop in &route {
+                prop_assert_eq!(hop.channel.from, cur);
+                prop_assert!(t.channel_exists(hop.channel),
+                    "route used nonexistent channel {:?}", hop.channel);
+                prop_assert!(!router.fault_set().channel_failed(hop.channel),
+                    "route crossed failed channel {:?}", hop.channel);
+                prop_assert!(!router.fault_set().node_failed(hop.channel.to(&t)),
+                    "route entered failed router");
+                cur = hop.channel.to(&t);
+            }
+            prop_assert_eq!(cur, dest);
+        }
+    }
+
+    #[test]
+    fn fault_routes_are_minimal_among_surviving_paths(faults in faulty_network(), a in 0u32..216, b in 0u32..216) {
+        let t = *faults.topology();
+        let (src, dest) = (NodeId(a % t.num_nodes()), NodeId(b % t.num_nodes()));
+        let oracle = bfs_surviving_distance(&faults, src, dest);
+        let router = FaultRouter::new(faults);
+        prop_assert_eq!(router.distance(src, dest), oracle,
+            "distance mismatch {:?}→{:?}", t.coords(src), t.coords(dest));
+        match oracle {
+            None => prop_assert!(router.route(src, dest).is_none()),
+            Some(d) => {
+                let route = router.route(src, dest).unwrap();
+                prop_assert_eq!(route.len() as u32, d,
+                    "route not minimal among surviving paths");
+                // A detour is never shorter than the fault-free minimum.
+                prop_assert!(d >= t.hop_count(src, dest));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_routes_on_tori_only_use_wrap_channels_in_the_low_class(faults in faulty_network(), a in 0u32..216, b in 0u32..216) {
+        let t = *faults.topology();
+        prop_assume!(t.boundary() == Boundary::Torus);
+        let (src, dest) = (NodeId(a % t.num_nodes()), NodeId(b % t.num_nodes()));
+        let router = FaultRouter::new(faults);
+        if let Some(route) = router.route(src, dest) {
+            for hop in &route {
+                let c = t.coord(hop.channel.from, hop.channel.dim);
+                let wraps = match hop.channel.direction {
+                    Direction::Plus => c == t.k() - 1,
+                    Direction::Minus => c == 0,
+                };
+                prop_assert_eq!(hop.vc_class == VcClass::Low, wraps,
+                    "wrap-crossing class rule violated at {:?}", hop.channel);
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_fault_routes_stay_in_the_high_class(faults in faulty_network(), a in 0u32..216, b in 0u32..216) {
+        let t = *faults.topology();
+        prop_assume!(t.boundary() == Boundary::Mesh);
+        let (src, dest) = (NodeId(a % t.num_nodes()), NodeId(b % t.num_nodes()));
+        let router = FaultRouter::new(faults);
+        if let Some(route) = router.route(src, dest) {
+            prop_assert!(route.iter().all(|h| h.vc_class == VcClass::High));
+        }
+    }
+
+    #[test]
+    fn bidirectional_routes_are_minimal_and_never_overshoot((t, a, b) in bidirectional_and_pair()) {
+        let (a, b) = (NodeId(a), NodeId(b));
+        let route = t.dor_route(a, b);
+        prop_assert_eq!(route.len() as u32, t.hop_count(a, b));
+        // Per dimension: the route takes |shortest signed offset| hops, all
+        // in the same direction.
+        for d in 0..t.n() {
+            let offset = t.ring_offset_routed(t.coord(a, d), t.coord(b, d));
+            let hops: Vec<_> = route.hops.iter().filter(|h| h.channel.dim == d).collect();
+            prop_assert_eq!(hops.len() as i64, offset.abs());
+            let want = if offset > 0 { Direction::Plus } else { Direction::Minus };
+            prop_assert!(hops.iter().all(|h| h.channel.direction == want));
+        }
+        let mut cur = a;
+        for hop in &route.hops {
+            prop_assert_eq!(hop.channel.from, cur);
+            cur = hop.channel.to(&t);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
     #[test]
     fn routes_are_minimal_and_valid((t, hot) in torus_and_hot(), src in 0u32..81) {
         let src = kncube_topology::NodeId(src % t.num_nodes());
@@ -67,7 +243,7 @@ proptest! {
 
     #[test]
     fn hot_fractions_match_bruteforce((t, hot) in torus_and_hot(), from in 0u32..81, dim in 0u32..2) {
-        let g = HotSpotGeometry::new(t, kncube_topology::NodeId(hot)).unwrap();
+        let g = HotSpotGeometry::new(t, kncube_topology::NodeId(hot));
         let from = kncube_topology::NodeId(from % t.num_nodes());
         let c = Channel { from, dim, direction: Direction::Plus };
         let counted = g.count_hot_sources_crossing(c) as f64 / t.num_nodes() as f64;
@@ -199,7 +375,7 @@ proptest! {
         // Generalized Eqs. 4-5 against route enumeration on random cubes.
         prop_assume!(t.num_nodes() <= 1024); // keep the N-route oracle fast
         let dim = dim % t.n();
-        let g = HotSpotGeometry::new(t, NodeId(hot)).unwrap();
+        let g = HotSpotGeometry::new(t, NodeId(hot));
         let c = Channel { from: NodeId(from), dim, direction: Direction::Plus };
         let counted = g.count_hot_sources_crossing(c) as f64 / t.num_nodes() as f64;
         let expected = match g.hot_channel_distance(c) {

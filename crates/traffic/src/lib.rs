@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod faults;
 pub mod patterns;
 pub mod rng;
 pub mod workload;
 
 pub use arrival::{ArrivalProcess, ArrivalSampler};
+pub use faults::{sample_fault_set, FaultSpec};
 pub use patterns::{MessageClass, TrafficPattern};
 pub use rng::{node_rng, replication_seed};
 pub use workload::{GeneratedMessage, NodeWorkload, WorkloadConfig};

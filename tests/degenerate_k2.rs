@@ -1,0 +1,123 @@
+//! The `k = 2` degeneracy, model side: a 2-ary ring has one other node,
+//! one hop away in either direction, so unidirectional and bidirectional
+//! 2-ary n-cubes are the *same hypercube*.  Every topology-level quantity
+//! the analytical model consumes — hop counts, routes, mean hops,
+//! hot-spot channel fractions — must agree **bitwise** between the two
+//! link kinds, and the closed-form model (which takes only `(k, n, V, Lm,
+//! λ, h)`) must solve to finite outputs that match the shared zero-load
+//! geometry across a λ grid.
+//!
+//! The engine-level half of the equivalence (bit-identical simulation
+//! reports) lives in `crates/sim/tests/degenerate_equivalence.rs`.
+
+use kncube_core::{NCubeConfig, NCubeModel};
+use kncube_topology::{Channel, Direction, HotSpotGeometry, KAryNCube, NodeId};
+
+#[test]
+fn k2_topology_quantities_coincide_bitwise() {
+    for n in 1..=6 {
+        let uni = KAryNCube::unidirectional(2, n).unwrap();
+        let bi = KAryNCube::bidirectional(2, n).unwrap();
+        assert_eq!(uni.num_nodes(), bi.num_nodes());
+        assert_eq!(uni.max_hops(), bi.max_hops(), "n={n}");
+        // (k-1)/2 = 1/2 (unidirectional) and k/4 = 1/2 (bidirectional,
+        // even k) are the same real number — and the same f64.
+        assert_eq!(
+            uni.mean_hops_per_dim().to_bits(),
+            bi.mean_hops_per_dim().to_bits(),
+            "n={n}"
+        );
+        assert_eq!(
+            uni.mean_hops_total().to_bits(),
+            bi.mean_hops_total().to_bits(),
+            "n={n}"
+        );
+        for src in uni.nodes() {
+            for dest in uni.nodes() {
+                assert_eq!(uni.hop_count(src, dest), bi.hop_count(src, dest));
+                // Same routes, hop for hop: channels *and* virtual-channel
+                // classes (every hop is a Plus hop of a 2-ring).
+                assert_eq!(
+                    uni.dor_route(src, dest).hops,
+                    bi.dor_route(src, dest).hops,
+                    "n={n} {:?}→{:?}",
+                    uni.coords(src),
+                    uni.coords(dest)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k2_hot_spot_fractions_coincide_and_minus_channels_carry_nothing() {
+    for n in [1u32, 2, 3, 5] {
+        let uni = KAryNCube::unidirectional(2, n).unwrap();
+        let bi = KAryNCube::bidirectional(2, n).unwrap();
+        let hot = NodeId(uni.num_nodes() / 3);
+        let gu = HotSpotGeometry::new(uni, hot);
+        let gb = HotSpotGeometry::new(bi, hot);
+        for from in uni.nodes() {
+            for dim in 0..n {
+                let plus = Channel {
+                    from,
+                    dim,
+                    direction: Direction::Plus,
+                };
+                assert_eq!(
+                    gu.p_hot_channel(plus).to_bits(),
+                    gb.p_hot_channel(plus).to_bits(),
+                    "n={n} {:?} dim {dim}",
+                    uni.coords(from)
+                );
+                // No k=2 route ever takes a Minus channel, so no hot-spot
+                // traffic crosses one.
+                let minus = Channel {
+                    from,
+                    dim,
+                    direction: Direction::Minus,
+                };
+                assert_eq!(gb.p_hot_channel(minus), 0.0, "n={n}");
+                assert_eq!(gb.count_hot_sources_crossing(minus), 0, "n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn k2_model_solves_on_the_shared_geometry_across_a_lambda_grid() {
+    // The closed-form model has no link-kind knob — its inputs are the
+    // quantities shown bitwise-equal above.  Tie the loop shut: its
+    // zero-load latency must be reproducible from *either* topology's mean
+    // hop count, and it must solve to finite, sane outputs on a λ grid.
+    for n in [2u32, 3, 4] {
+        let uni = KAryNCube::unidirectional(2, n).unwrap();
+        let bi = KAryNCube::bidirectional(2, n).unwrap();
+        for h in [0.0, 0.2] {
+            for &lambda in &[1e-4, 5e-4, 1e-3] {
+                let lm = 16;
+                let model = NCubeModel::new(NCubeConfig::new(2, n, 4, lm, lambda, h)).unwrap();
+                let out = model.solve().expect("light k=2 load must solve");
+                assert!(out.latency.is_finite() && out.latency > lm as f64);
+                // Zero-load floor from the shared geometry: at h = 0 the
+                // model's uniform-traffic entry-case average equals
+                // Lm + n·(k-1)/2 · N/(N-1) computed from either cube (the
+                // model's destinations exclude the source itself).
+                if h == 0.0 {
+                    let nodes = uni.num_nodes() as f64;
+                    let self_excluded = nodes / (nodes - 1.0);
+                    let floor_uni = lm as f64 + uni.mean_hops_total() * self_excluded;
+                    let floor_bi = lm as f64 + bi.mean_hops_total() * self_excluded;
+                    assert_eq!(floor_uni.to_bits(), floor_bi.to_bits());
+                    assert!(
+                        (model.zero_load_latency() - floor_uni).abs() < 1e-9,
+                        "n={n}: zero-load {} vs geometric floor {}",
+                        model.zero_load_latency(),
+                        floor_uni
+                    );
+                    assert!(out.latency >= floor_uni - 1e-9);
+                }
+            }
+        }
+    }
+}

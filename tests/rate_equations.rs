@@ -29,7 +29,7 @@ fn hot_ring_channel_rates_match_eq9() {
     let cycles = 400_000u64;
     let (sim, cycles) = measure(k, lm, lambda, h, cycles);
     let topo = *sim.topology();
-    let geom = HotSpotGeometry::new(topo, NodeId(0)).unwrap();
+    let geom = HotSpotGeometry::new(topo, NodeId(0));
     let rates = Rates::new(k, lambda, h);
 
     for &from in &geom.hot_y_ring().nodes {
@@ -56,7 +56,7 @@ fn x_channel_rates_match_eq8() {
     let (k, lm, lambda, h) = (8u32, 16u32, 1e-3, 0.4);
     let (sim, cycles) = measure(k, lm, lambda, h, 400_000);
     let topo = *sim.topology();
-    let geom = HotSpotGeometry::new(topo, NodeId(0)).unwrap();
+    let geom = HotSpotGeometry::new(topo, NodeId(0));
     let rates = Rates::new(k, lambda, h);
 
     // Average the observed rate over the k rings at each distance j (the
