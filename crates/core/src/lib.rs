@@ -44,6 +44,9 @@
 //! * [`hypercube`] — the binary-hypercube comparison model (closed form);
 //! * [`uniform`] — an independently-derived uniform-traffic baseline (the
 //!   `h → 0` sanity anchor);
+//! * [`faulty`] — the faulty-network model: the same queueing chain over
+//!   the exact surviving-route substrate of a fault-aware router, which
+//!   also covers the bidirectional and mesh geometries;
 //! * [`sweep`] — load sweeps, warm-started continuation and saturation
 //!   search, parallelised on a bounded rayon worker pool;
 //! * [`cache`] — a solved-configuration memo behind a quantized key, the
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faulty;
 pub mod hypercube;
 pub mod ncube;
 pub mod probabilities;
@@ -62,17 +66,19 @@ pub mod sweep;
 pub mod uniform;
 
 pub use cache::SolveCache;
+pub use faulty::{FaultyNCubeConfig, FaultyNCubeModel, FaultyNCubeOutput};
 pub use hypercube::{HypercubeModel, HypercubeOutput};
 pub use ncube::{NCubeConfig, NCubeModel, NCubeOutput};
 pub use probabilities::{entry_cases, EntryCase, RegularRouteProbs};
-pub use rates::{NCubeRates, Rates};
+pub use rates::{FaultyChannelRates, NCubeRates, Rates};
 pub use solver::{
     HotSpotModel, ModelConfig, ModelError, ModelOutput, ModelVariant, MultiplexingModel,
     ServiceTimeModel,
 };
 pub use sweep::{
-    find_saturation, find_saturation_ncube, find_saturation_ncube_report, find_saturation_report,
-    latency_curve, ncube_latency_curve, ncube_latency_curve_continued, solve_continued, CurvePoint,
-    NCubeCurvePoint, SaturationError, SaturationReport,
+    faulty_latency_curve, find_saturation, find_saturation_faulty, find_saturation_faulty_report,
+    find_saturation_ncube, find_saturation_ncube_report, find_saturation_report, latency_curve,
+    ncube_latency_curve, ncube_latency_curve_continued, solve_continued, CurvePoint,
+    FaultyCurvePoint, NCubeCurvePoint, SaturationError, SaturationReport,
 };
 pub use uniform::UniformModel;

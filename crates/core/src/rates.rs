@@ -15,6 +15,8 @@
 //!   instances are the paper's `k - j` (x, Eqs. 4/6) and `k(k - j)`
 //!   (hot y-ring, Eqs. 5/7).
 
+use kncube_topology::{ChannelId, FaultRouter, NodeId};
+
 /// Per-channel traffic rates for a k-ary n-cube at a given load —
 /// Eqs. (1)–(9) with dimension as a parameter.
 #[derive(Clone, Copy, Debug)]
@@ -175,6 +177,114 @@ impl Rates {
     }
 }
 
+/// Per-channel traffic rates of a *faulty* (or bidirectional / mesh)
+/// network, computed by exact route enumeration over the surviving paths
+/// of a [`FaultRouter`] instead of the closed forms above.
+///
+/// The closed forms of [`NCubeRates`] assume every source can reach every
+/// destination over the fault-free dimension-order route.  With faults the
+/// load redistributes along the detoured shortest surviving routes, and
+/// pairs with no surviving route contribute nothing (the simulator drops
+/// them at generation).  This struct walks every ordered reachable pair
+/// once and accumulates, per directed channel:
+///
+/// * **regular** traffic — each healthy source spreads its uniform share
+///   over the *other* `N - 1` nodes (delivered only where reachable); the
+///   hot node itself generates only regular traffic (Pfister–Norton);
+/// * **hot-spot** traffic — each healthy non-hot source adds rate `λh`
+///   along its surviving route to the hot node.
+///
+/// Rates are stored per unit `λ`; multiply by the per-node generation rate
+/// at query time, which keeps one enumeration valid for a whole λ sweep.
+#[derive(Clone, Debug)]
+pub struct FaultyChannelRates {
+    regular_unit: Vec<f64>,
+    hot_unit: Vec<f64>,
+    reachable_pairs: u64,
+    hot_fraction: f64,
+}
+
+impl FaultyChannelRates {
+    /// Enumerate the surviving routes of `router` and accumulate the
+    /// per-channel rates for hot node `hot` and hot fraction
+    /// `hot_fraction` (`0 <= h <= 1`).
+    pub fn from_router(router: &FaultRouter, hot: NodeId, hot_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        let topo = *router.topology();
+        let n_nodes = topo.num_nodes();
+        let mut regular_unit = vec![0.0; topo.num_channels() as usize];
+        let mut hot_unit = vec![0.0; topo.num_channels() as usize];
+        let mut reachable_pairs = 0u64;
+        let others = (n_nodes - 1) as f64;
+        for src in topo.nodes() {
+            // The hot node generates only regular traffic; everyone else
+            // splits `1 - h` uniform / `h` hot.  Failed sources generate
+            // traffic that is dropped whole (no reachable destination).
+            let regular_share = if src == hot { 1.0 } else { 1.0 - hot_fraction };
+            for dest in topo.nodes() {
+                if dest == src || router.distance(src, dest).is_none() {
+                    continue;
+                }
+                reachable_pairs += 1;
+                let mut cur = src;
+                while cur != dest {
+                    let hop = router
+                        .next_hop(cur, dest)
+                        .expect("finite distance implies a next hop");
+                    let id = hop.channel.id(&topo).index();
+                    regular_unit[id] += regular_share / others;
+                    if dest == hot && src != hot {
+                        hot_unit[id] += hot_fraction;
+                    }
+                    cur = hop.channel.to(&topo);
+                }
+            }
+        }
+        FaultyChannelRates {
+            regular_unit,
+            hot_unit,
+            reachable_pairs,
+            hot_fraction,
+        }
+    }
+
+    /// Regular traffic rate on `channel` at per-node generation rate
+    /// `lambda`.
+    #[inline]
+    pub fn regular_rate(&self, channel: ChannelId, lambda: f64) -> f64 {
+        lambda * self.regular_unit[channel.index()]
+    }
+
+    /// Hot-spot traffic rate on `channel` at per-node generation rate
+    /// `lambda`.
+    #[inline]
+    pub fn hot_rate(&self, channel: ChannelId, lambda: f64) -> f64 {
+        lambda * self.hot_unit[channel.index()]
+    }
+
+    /// Combined rate on `channel` at per-node generation rate `lambda`.
+    pub fn total_rate(&self, channel: ChannelId, lambda: f64) -> f64 {
+        self.regular_rate(channel, lambda) + self.hot_rate(channel, lambda)
+    }
+
+    /// Number of directed channels in the topology (indexable by
+    /// [`ChannelId`]).
+    pub fn num_channels(&self) -> usize {
+        self.regular_unit.len()
+    }
+
+    /// Ordered pairs `(src, dest)` with a surviving route, counted during
+    /// the enumeration (matches [`FaultRouter::reachable_pairs`] exactly).
+    pub fn reachable_pairs(&self) -> u64 {
+        self.reachable_pairs
+    }
+
+    /// Hot fraction `h` the rates were accumulated with.
+    pub fn hot_fraction(&self) -> f64 {
+        self.hot_fraction
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +373,102 @@ mod tests {
         // Binding channel of the innermost dimension: λ h k^{n-1}(k-1).
         let binding = g.hot_rate(3, 1);
         assert!((binding - 1e-3 * 0.5 * 192.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn faulty_rates_cross_check_p_hot_channel_on_fault_free_networks() {
+        // On a fault-free network the enumerated hot load on a channel is
+        // exactly `λ h` times the number of sources whose route to the hot
+        // node crosses it — the quantity `N · p_hot_channel` of the
+        // signed-offset hot-spot geometry, on every link kind/boundary.
+        use kncube_topology::{Channel, FaultSet, HotSpotGeometry, KAryNCube};
+        let h = 0.35;
+        for topo in [
+            KAryNCube::unidirectional(5, 2).unwrap(),
+            KAryNCube::bidirectional(6, 2).unwrap(),
+            KAryNCube::mesh(4, 2).unwrap(),
+        ] {
+            for hot_idx in [0u32, 3, topo.num_nodes() - 1] {
+                let hot = kncube_topology::NodeId(hot_idx);
+                let router = FaultRouter::new(FaultSet::none(topo));
+                let rates = FaultyChannelRates::from_router(&router, hot, h);
+                let geom = HotSpotGeometry::new(topo, hot);
+                let n_nodes = topo.num_nodes() as f64;
+                for id in 0..topo.num_channels() {
+                    let cid = ChannelId(id);
+                    let ch = Channel::from_id(&topo, cid);
+                    let expected = h * n_nodes * geom.p_hot_channel(ch);
+                    let got = rates.hot_rate(cid, 1.0);
+                    assert!(
+                        (got - expected).abs() < 1e-12,
+                        "k={} hot={hot_idx} channel {id}: {got} vs {expected}",
+                        topo.k()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_rates_conserve_hop_rate_under_faults() {
+        // Load redistribution conserves work: summed over channels, the
+        // unit hot rate is `h` times the total surviving distance to the
+        // hot node, and the unit regular rate is the share-weighted mean
+        // surviving distance over reachable uniform pairs — both exactly
+        // recomputable from the router's distance table, faults included.
+        use kncube_topology::{Channel, Direction, FaultSet, KAryNCube, NodeId};
+        let topo = KAryNCube::bidirectional(5, 2).unwrap();
+        let h = 0.2;
+        let hot = NodeId(0);
+        let mut faults = FaultSet::none(topo);
+        faults.fail_node(NodeId(12));
+        faults.fail_link(Channel {
+            from: NodeId(6),
+            dim: 1,
+            direction: Direction::Plus,
+        });
+        let router = FaultRouter::new(faults);
+        let rates = FaultyChannelRates::from_router(&router, hot, h);
+        let others = (topo.num_nodes() - 1) as f64;
+        let mut expected_reg = 0.0;
+        let mut expected_hot = 0.0;
+        for src in topo.nodes() {
+            let share = if src == hot { 1.0 } else { 1.0 - h };
+            for dest in topo.nodes() {
+                if let Some(d) = router.distance(src, dest).filter(|_| src != dest) {
+                    expected_reg += share * d as f64 / others;
+                    if dest == hot {
+                        expected_hot += h * d as f64;
+                    }
+                }
+            }
+        }
+        let sum_reg: f64 = (0..topo.num_channels())
+            .map(|id| rates.regular_rate(ChannelId(id), 1.0))
+            .sum();
+        let sum_hot: f64 = (0..topo.num_channels())
+            .map(|id| rates.hot_rate(ChannelId(id), 1.0))
+            .sum();
+        assert!(
+            (sum_reg - expected_reg).abs() < 1e-9,
+            "{sum_reg} {expected_reg}"
+        );
+        assert!(
+            (sum_hot - expected_hot).abs() < 1e-9,
+            "{sum_hot} {expected_hot}"
+        );
+        assert_eq!(rates.reachable_pairs(), router.reachable_pairs());
+        // Channels incident to the failed router carry nothing.
+        for dim in 0..topo.n() {
+            for direction in [Direction::Plus, Direction::Minus] {
+                let ch = Channel {
+                    from: NodeId(12),
+                    dim,
+                    direction,
+                };
+                assert_eq!(rates.total_rate(ch.id(&topo), 1.0), 0.0);
+            }
+        }
     }
 
     #[test]

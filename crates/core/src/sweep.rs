@@ -21,6 +21,7 @@
 //! the bisection probes and surfaces the probe/iteration counts that the
 //! plain `find_saturation*` wrappers used to discard.
 
+use crate::faulty::{FaultyNCubeModel, FaultyNCubeOutput};
 use crate::ncube::{NCubeConfig, NCubeModel, NCubeOutput};
 use crate::solver::{HotSpotModel, ModelConfig, ModelError, ModelOutput};
 use rayon::prelude::*;
@@ -271,7 +272,71 @@ pub fn find_saturation_ncube_report(
     })
 }
 
-/// The shared bisection behind both saturation searches.
+/// One point of a faulty-network latency curve.
+#[derive(Clone, Debug)]
+pub struct FaultyCurvePoint {
+    /// The per-node generation rate of this point.
+    pub lambda: f64,
+    /// The model solution, or the saturation error past `λ*`.
+    pub result: Result<FaultyNCubeOutput, ModelError>,
+}
+
+/// Evaluate the faulty-network model at each `lambda`, in parallel on the
+/// pooled worker threads.  The (expensive) route enumeration was done
+/// once at model construction, so every point reuses it; points come back
+/// in input order.
+pub fn faulty_latency_curve(model: &FaultyNCubeModel, lambdas: &[f64]) -> Vec<FaultyCurvePoint> {
+    lambdas
+        .par_iter()
+        .map(|&lambda| FaultyCurvePoint {
+            lambda,
+            result: model.solve_at(lambda),
+        })
+        .collect()
+}
+
+/// [`find_saturation_ncube`] for the faulty-network model: the largest
+/// rate at which [`FaultyNCubeModel`] still has a solution, to relative
+/// width `rel_tol`.
+pub fn find_saturation_faulty(
+    model: &FaultyNCubeModel,
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+) -> Result<f64, SaturationError> {
+    find_saturation_faulty_report(model, lo, hi, rel_tol).map(|r| r.lambda_star)
+}
+
+/// [`find_saturation_faulty`] with the probe/iteration accounting.  The
+/// per-channel path is non-iterative (each solvable probe counts one
+/// iteration); the delegated fault-free path reports the closed-form
+/// solver's converged iteration counts.
+pub fn find_saturation_faulty_report(
+    model: &FaultyNCubeModel,
+    lo: f64,
+    hi: f64,
+    rel_tol: f64,
+) -> Result<SaturationReport, SaturationError> {
+    let mut probes = 0usize;
+    let mut iterations = 0usize;
+    let lambda_star = bisect_saturation(lo, hi, rel_tol, |lambda| {
+        probes += 1;
+        match model.solve_at(lambda) {
+            Ok(out) => {
+                iterations += out.iterations;
+                true
+            }
+            Err(_) => false,
+        }
+    })?;
+    Ok(SaturationReport {
+        lambda_star,
+        probes,
+        solver_iterations: iterations,
+    })
+}
+
+/// The shared bisection behind all the saturation searches.
 fn bisect_saturation(
     mut lo: f64,
     mut hi: f64,

@@ -656,6 +656,20 @@ impl Simulator {
             self.ejecting.push(id);
             return;
         }
+        // Invariant: a header can only be at an intermediate node if the
+        // destination is reachable from it.  `generate` drops any message
+        // whose (src, dest) pair has no surviving route (including the
+        // fully-partitioned network where *no* pair survives), and every
+        // hop taken so far followed `next_hop`, which only moves along
+        // finite-distance paths — so `next_hop` here is total even under
+        // arbitrary fault sets.  The fault-free branch is total because
+        // `node != dest` was checked above.
+        debug_assert!(
+            self.fault_router
+                .as_ref()
+                .is_none_or(|r| r.distance(node, dest).is_some()),
+            "in-flight message at a node that cannot reach its destination"
+        );
         let hop = match &self.fault_router {
             Some(router) => router
                 .next_hop(node, dest)

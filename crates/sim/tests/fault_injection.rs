@@ -199,3 +199,30 @@ fn faulty_mesh_completes_messages() {
         report.dropped_unreachable + report.completed + report.in_flight_at_end
     );
 }
+
+#[test]
+fn fully_partitioned_network_drops_everything_without_panicking() {
+    // With every router failed the network has zero reachable pairs: each
+    // generated message is dropped at the source, nothing ever moves, and
+    // the run must terminate cleanly (no deadlock flag, no panic from the
+    // routing invariants in `on_head_arrival`).
+    let spec = FaultSpec {
+        router_failure_prob: 1.0,
+        link_failure_prob: 0.0,
+    };
+    let cfg = SimConfig::paper_validation(4, 2, 8, 2e-3, 0.2, 11)
+        .with_topology(LinkKind::Bidirectional, Boundary::Torus)
+        .with_faults(spec)
+        .with_limits(10_000, 0, 0);
+    let sim = Simulator::new(cfg).unwrap();
+    assert_eq!(sim.fault_router().unwrap().reachable_pairs(), 0);
+    let report = sim.run();
+    assert_eq!(report.completed, 0);
+    assert!(
+        report.dropped_unreachable > 0,
+        "arrivals must still be drawn"
+    );
+    assert_eq!(report.generated, report.dropped_unreachable);
+    assert!(!report.deadlocked, "an idle network is not deadlocked");
+    assert_eq!(report.reachable_fraction, 0.0);
+}

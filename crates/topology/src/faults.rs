@@ -129,6 +129,39 @@ impl FaultSet {
     pub fn is_empty(&self) -> bool {
         self.num_failed_routers == 0 && self.num_failed_links == 0
     }
+
+    /// A 64-bit FNV-1a digest of the fault set *and* the topology it lives
+    /// in: the geometry parameters followed by the failed-router and
+    /// failed-channel bitmaps.
+    ///
+    /// Two fault sets differing in any failed element — or living in
+    /// different topologies — hash to different values (up to the 2⁻⁶⁴
+    /// collision probability of the digest), which is what memoisation
+    /// keys need: the same *counts* of failures on the same geometry must
+    /// not alias when the failed elements differ.  The digest is a pure
+    /// function of the set's content, so equal sets always agree.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = fnv1a(FNV_OFFSET, self.topo.k().to_le_bytes());
+        hash = fnv1a(hash, self.topo.n().to_le_bytes());
+        hash = fnv1a(
+            hash,
+            [self.topo.link_kind() as u8, self.topo.boundary() as u8],
+        );
+        hash = fnv1a(hash, self.failed_nodes.iter().map(|&b| b as u8));
+        fnv1a(hash, self.failed_channels.iter().map(|&b| b as u8))
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a 64-bit running hash.
+fn fnv1a(mut hash: u64, bytes: impl IntoIterator<Item = u8>) -> u64 {
+    for b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// Deterministic fault-aware router: exact shortest surviving paths.
@@ -220,10 +253,16 @@ impl FaultRouter {
     /// heading for `dest`; `None` when `cur == dest` or `dest` is
     /// unreachable from `cur`.
     ///
-    /// The virtual-channel class is a wrap-crossing rule rather than the
-    /// Dally–Seitz dating scheme (whose "remaining path wraps" predicate
-    /// has no meaning on detour routes): a hop gets [`VcClass::Low`] iff it
-    /// crosses a wrap-around link.  Mesh routes therefore use only
+    /// The virtual-channel class is the stateless Dally–Seitz dateline
+    /// rule ([`VcClass::for_hop`]) applied to the hop's own ring: it
+    /// compares the hop's source coordinate against the *destination's*
+    /// coordinate in that dimension.  On fault-free networks this
+    /// reproduces dimension-order routes class-for-class (an acyclic
+    /// dependency graph, so the route set is wormhole-deadlock-free by
+    /// construction — pinned by [`FaultRouter::deadlock_free`]).  Detour
+    /// routes keep a deterministic class but may still close a dependency
+    /// cycle; check [`FaultRouter::deadlock_free`] before driving a
+    /// simulator with a faulted route set.  Mesh routes use only
     /// [`VcClass::High`].
     pub fn next_hop(&self, cur: NodeId, dest: NodeId) -> Option<Hop> {
         if cur == dest {
@@ -246,7 +285,7 @@ impl FaultRouter {
                 // `d - 1` rather than `neighbor + 1`: the neighbor may sit
                 // at the UNREACHABLE marker, which must not wrap.
                 if self.dist_raw(channel.to(&self.topo), dest) == d - 1 {
-                    let vc_class = self.hop_class(channel);
+                    let vc_class = self.hop_class(channel, dest);
                     return Some(Hop { channel, vc_class });
                 }
             }
@@ -254,22 +293,28 @@ impl FaultRouter {
         unreachable!("finite BFS distance implies a distance-decreasing out-channel");
     }
 
-    /// Wrap-crossing virtual-channel class: `Low` iff the hop crosses a
-    /// wrap-around link of its ring.
-    fn hop_class(&self, channel: Channel) -> VcClass {
+    /// Stateless Dally–Seitz dateline class for a hop heading to `dest`:
+    /// [`VcClass::Low`] while the remaining travel in the hop's ring still
+    /// crosses that ring's wrap-around link, [`VcClass::High`] after.
+    ///
+    /// Detour routes can *sidestep* — move in a dimension whose coordinate
+    /// already matches the destination's, which dimension-order routing
+    /// never does and [`VcClass::for_hop`] rejects.  A sidestep takes the
+    /// Low class iff the hop itself crosses the wrap-around link.
+    fn hop_class(&self, channel: Channel, dest: NodeId) -> VcClass {
         if self.topo.boundary() == Boundary::Mesh {
             return VcClass::High;
         }
-        let c = self.topo.coord(channel.from, channel.dim);
-        let wraps = match channel.direction {
-            Direction::Plus => c == self.topo.k() - 1,
-            Direction::Minus => c == 0,
-        };
-        if wraps {
-            VcClass::Low
-        } else {
-            VcClass::High
+        let cur = self.topo.coord(channel.from, channel.dim);
+        let target = self.topo.coord(dest, channel.dim);
+        if cur == target {
+            let crosses = match channel.direction {
+                Direction::Plus => cur == self.topo.k() - 1,
+                Direction::Minus => cur == 0,
+            };
+            return if crosses { VcClass::Low } else { VcClass::High };
         }
+        VcClass::for_hop(cur, target, channel.direction)
     }
 
     /// The full deterministic route from `src` to `dest` (empty when
@@ -340,6 +385,76 @@ impl FaultRouter {
         }
     }
 
+    /// Whether the route set is wormhole-deadlock-free, by Dally's
+    /// criterion: the channel-dependency graph over `(channel, VC class)`
+    /// vertices — one edge per consecutive hop pair of any surviving
+    /// route — is acyclic.
+    ///
+    /// Fault-free dimension-order routes satisfy this by construction
+    /// (the Dally–Seitz classes break every ring cycle), but detour
+    /// routes around faults may turn against dimension order and close a
+    /// cycle; a simulator driving such a route set can deadlock under
+    /// load.  Sweeps that need clean latency measurements use this
+    /// predicate to select provably safe fault samples.
+    pub fn deadlock_free(&self) -> bool {
+        // Vertex per (channel, class): index = channel · 2 + class.
+        let nv = self.topo.num_channels() as usize * 2;
+        let vertex = |hop: &Hop| {
+            let class = match hop.vc_class {
+                VcClass::High => 0,
+                VcClass::Low => 1,
+            };
+            hop.channel.id(&self.topo).index() * 2 + class
+        };
+        let mut adj = vec![false; nv * nv];
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); nv];
+        for src in self.topo.nodes() {
+            if self.faults.node_failed(src) {
+                continue;
+            }
+            for dest in self.topo.nodes() {
+                if src == dest || self.dist_raw(src, dest) == UNREACHABLE {
+                    continue;
+                }
+                let mut cur = src;
+                let mut prev: Option<usize> = None;
+                while cur != dest {
+                    let hop = self
+                        .next_hop(cur, dest)
+                        .expect("finite distance implies a next hop");
+                    let v = vertex(&hop);
+                    if let Some(u) = prev {
+                        if !adj[u * nv + v] {
+                            adj[u * nv + v] = true;
+                            out[u].push(v as u32);
+                        }
+                    }
+                    prev = Some(v);
+                    cur = hop.channel.to(&self.topo);
+                }
+            }
+        }
+        // Kahn's algorithm: the graph is acyclic iff every vertex drains.
+        let mut indeg = vec![0u32; nv];
+        for edges in &out {
+            for &v in edges {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..nv).filter(|&v| indeg[v] == 0).collect();
+        let mut drained = 0usize;
+        while let Some(u) = stack.pop() {
+            drained += 1;
+            for &v in &out[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    stack.push(v as usize);
+                }
+            }
+        }
+        drained == nv
+    }
+
     /// The largest finite distance in the table (0 on a fully-failed
     /// network) — an upper bound on surviving route lengths, used to size
     /// per-message hop storage.
@@ -374,11 +489,11 @@ mod tests {
                     assert_eq!(router.distance(src, dest), Some(t.hop_count(src, dest)));
                     let dor = t.dor_route(src, dest);
                     let fault_route = router.route(src, dest).unwrap();
-                    let dor_channels: Vec<_> = dor.hops.iter().map(|h| h.channel).collect();
-                    let fr_channels: Vec<_> = fault_route.iter().map(|h| h.channel).collect();
+                    // Hop-for-hop: channels AND Dally–Seitz classes (the
+                    // dateline rule coincides with DOR's on direct routes).
                     assert_eq!(
-                        dor_channels,
-                        fr_channels,
+                        dor.hops,
+                        fault_route,
                         "{:?} {:?} {:?}→{:?}",
                         t.link_kind(),
                         t.boundary(),
@@ -554,5 +669,107 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_sets_and_topologies() {
+        let t = KAryNCube::bidirectional(4, 2).unwrap();
+        let empty = FaultSet::none(t);
+        // Same content hashes equal.
+        assert_eq!(empty.fingerprint(), FaultSet::none(t).fingerprint());
+        // Same failure *count*, different failed element: must not alias.
+        let mut a = FaultSet::none(t);
+        a.fail_node(NodeId(1));
+        let mut b = FaultSet::none(t);
+        b.fail_node(NodeId(2));
+        assert_eq!(a.num_failed_routers(), b.num_failed_routers());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), empty.fingerprint());
+        // A link failure is not a router failure.
+        let mut c = FaultSet::none(t);
+        c.fail_link(Channel {
+            from: NodeId(1),
+            dim: 0,
+            direction: Direction::Plus,
+        });
+        assert_ne!(c.fingerprint(), a.fingerprint());
+        // The topology is part of the digest: the same (empty) set on a
+        // different geometry or link kind hashes differently.
+        for other in [
+            KAryNCube::unidirectional(4, 2).unwrap(),
+            KAryNCube::mesh(4, 2).unwrap(),
+            KAryNCube::bidirectional(2, 4).unwrap(),
+        ] {
+            assert_ne!(FaultSet::none(other).fingerprint(), empty.fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_independent() {
+        let t = KAryNCube::mesh(4, 2).unwrap();
+        let mut ab = FaultSet::none(t);
+        ab.fail_node(NodeId(3));
+        ab.fail_node(NodeId(9));
+        let mut ba = FaultSet::none(t);
+        ba.fail_node(NodeId(9));
+        ba.fail_node(NodeId(3));
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+    }
+
+    #[test]
+    fn fault_free_route_sets_are_deadlock_free() {
+        // Dimension-order routes with Dally–Seitz wrap classes have an
+        // acyclic channel-dependency graph on every geometry.
+        for t in all_topologies(5, 2)
+            .into_iter()
+            .chain(all_topologies(4, 3))
+            .chain(all_topologies(2, 4))
+        {
+            let router = FaultRouter::new(FaultSet::none(t));
+            assert!(router.deadlock_free(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn a_detour_that_turns_against_dimension_order_closes_a_cycle() {
+        // On a bidirectional torus, killing a dim-0 link forces detours
+        // through dim 1 and back into dim 0 — the classic turn pattern
+        // that closes a channel-dependency cycle under the wrap-crossing
+        // class rule.  The predicate must catch at least one such set
+        // (this is the mechanism behind the simulator deadlocks the
+        // faulty-model sweep works around).
+        let t = KAryNCube::bidirectional(8, 2).unwrap();
+        let mut any_cyclic = false;
+        for node in 0..16u32 {
+            let mut faults = FaultSet::none(t);
+            faults.fail_node(NodeId(node));
+            faults.fail_link(Channel {
+                from: NodeId(node + 17),
+                dim: 0,
+                direction: Direction::Plus,
+            });
+            let router = FaultRouter::new(faults);
+            if router.reachable_pairs() > 0 && !router.deadlock_free() {
+                any_cyclic = true;
+                break;
+            }
+        }
+        assert!(
+            any_cyclic,
+            "no cyclic dependency found across the probe fault sets"
+        );
+    }
+
+    #[test]
+    fn node_failures_keep_mesh_routes_deadlock_free_when_detours_stay_minimal() {
+        // A single failed corner router on a mesh leaves every surviving
+        // route dimension-ordered (no wrap links exist to close ring
+        // cycles through), so the dependency graph stays acyclic.
+        let t = KAryNCube::mesh(5, 2).unwrap();
+        let mut faults = FaultSet::none(t);
+        faults.fail_node(NodeId(0));
+        let router = FaultRouter::new(faults);
+        assert!(router.reachable_pairs() > 0);
+        assert!(router.deadlock_free());
     }
 }

@@ -161,21 +161,34 @@ proptest! {
         }
     }
 
+    // Dally–Seitz dateline rule: a torus hop rides the Low class iff the
+    // remaining travel in its dimension still has to cross the wrap link
+    // (`VcClass::for_hop`), with one detour special case — a sidestep hop
+    // whose coordinate already matches the destination is Low iff the hop
+    // itself physically crosses the wrap.  This matches `dor_route` exactly
+    // on fault-free routes and keeps the per-dimension channel-dependence
+    // graph acyclic (see `FaultRouter::deadlock_free`).
     #[test]
-    fn fault_routes_on_tori_only_use_wrap_channels_in_the_low_class(faults in faulty_network(), a in 0u32..216, b in 0u32..216) {
+    fn fault_routes_on_tori_follow_the_dateline_class_rule(faults in faulty_network(), a in 0u32..216, b in 0u32..216) {
         let t = *faults.topology();
         prop_assume!(t.boundary() == Boundary::Torus);
         let (src, dest) = (NodeId(a % t.num_nodes()), NodeId(b % t.num_nodes()));
         let router = FaultRouter::new(faults);
         if let Some(route) = router.route(src, dest) {
             for hop in &route {
-                let c = t.coord(hop.channel.from, hop.channel.dim);
-                let wraps = match hop.channel.direction {
-                    Direction::Plus => c == t.k() - 1,
-                    Direction::Minus => c == 0,
+                let cur = t.coord(hop.channel.from, hop.channel.dim);
+                let target = t.coord(dest, hop.channel.dim);
+                let want = if cur == target {
+                    let crosses = match hop.channel.direction {
+                        Direction::Plus => cur == t.k() - 1,
+                        Direction::Minus => cur == 0,
+                    };
+                    if crosses { VcClass::Low } else { VcClass::High }
+                } else {
+                    VcClass::for_hop(cur, target, hop.channel.direction)
                 };
-                prop_assert_eq!(hop.vc_class == VcClass::Low, wraps,
-                    "wrap-crossing class rule violated at {:?}", hop.channel);
+                prop_assert_eq!(hop.vc_class, want,
+                    "dateline class rule violated at {:?}", hop.channel);
             }
         }
     }

@@ -10,8 +10,8 @@
 //! The engine-level half of the equivalence (bit-identical simulation
 //! reports) lives in `crates/sim/tests/degenerate_equivalence.rs`.
 
-use kncube_core::{NCubeConfig, NCubeModel};
-use kncube_topology::{Channel, Direction, HotSpotGeometry, KAryNCube, NodeId};
+use kncube_core::{FaultyNCubeConfig, FaultyNCubeModel, NCubeConfig, NCubeModel};
+use kncube_topology::{Channel, Direction, FaultSet, HotSpotGeometry, KAryNCube, NodeId};
 
 #[test]
 fn k2_topology_quantities_coincide_bitwise() {
@@ -79,6 +79,74 @@ fn k2_hot_spot_fractions_coincide_and_minus_channels_carry_nothing() {
                 };
                 assert_eq!(gb.p_hot_channel(minus), 0.0, "n={n}");
                 assert_eq!(gb.count_hot_sources_crossing(minus), 0, "n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn k2_faulty_model_coincides_bitwise_across_link_kinds() {
+    // The faulty model consumes the route substrate directly, so the k=2
+    // equivalence must survive it: identical enumeration order (the
+    // lowest-channel-id tie-break picks Plus on both link kinds), hence
+    // identical floating-point operation order, hence bitwise-equal
+    // outputs — on the empty fault set AND under node faults (a failed
+    // node kills the same routes in both cubes; link faults differ, as
+    // bidirectional 2-rings have a second physical link).
+    for n in [2u32, 3] {
+        let uni = KAryNCube::unidirectional(2, n).unwrap();
+        let bi = KAryNCube::bidirectional(2, n).unwrap();
+        let fault_sets: Vec<(FaultSet, FaultSet)> = vec![
+            (FaultSet::none(uni), FaultSet::none(bi)),
+            {
+                let mut fu = FaultSet::none(uni);
+                let mut fb = FaultSet::none(bi);
+                let node = NodeId(uni.num_nodes() - 1);
+                fu.fail_node(node);
+                fb.fail_node(node);
+                (fu, fb)
+            },
+            {
+                let mut fu = FaultSet::none(uni);
+                let mut fb = FaultSet::none(bi);
+                for node in [NodeId(1), NodeId(2)] {
+                    fu.fail_node(node);
+                    fb.fail_node(node);
+                }
+                (fu, fb)
+            },
+        ];
+        for (fu, fb) in fault_sets {
+            for &lambda in &[0.0, 1e-4, 1e-3] {
+                let mu =
+                    FaultyNCubeModel::new(FaultyNCubeConfig::new(fu.clone(), 2, 16, lambda, 0.2))
+                        .unwrap();
+                let mb =
+                    FaultyNCubeModel::new(FaultyNCubeConfig::new(fb.clone(), 2, 16, lambda, 0.2))
+                        .unwrap();
+                // Same delegation decision on both link kinds…
+                assert_eq!(mu.delegates_to_ncube(), mb.delegates_to_ncube(), "n={n}");
+                let (a, b) = (mu.solve().unwrap(), mb.solve().unwrap());
+                assert_eq!(
+                    a.latency.to_bits(),
+                    b.latency.to_bits(),
+                    "n={n} λ={lambda} solve()"
+                );
+                assert_eq!(a.reachable_pairs, b.reachable_pairs);
+                assert_eq!(
+                    a.delivered_fraction.to_bits(),
+                    b.delivered_fraction.to_bits()
+                );
+                // …and the forced general path agrees bitwise too, which
+                // pins the enumeration-order argument itself.
+                let (ga, gb) = (mu.solve_general().unwrap(), mb.solve_general().unwrap());
+                assert_eq!(
+                    ga.latency.to_bits(),
+                    gb.latency.to_bits(),
+                    "n={n} λ={lambda} solve_general()"
+                );
+                assert_eq!(ga.max_utilization.to_bits(), gb.max_utilization.to_bits());
+                assert_eq!(ga.hot_latency.to_bits(), gb.hot_latency.to_bits());
             }
         }
     }
